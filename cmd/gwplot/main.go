@@ -1,0 +1,102 @@
+// Command gwplot renders the paper's figures as terminal bar charts, either
+// from a JSON report produced by `gwsweep -json` or by running the
+// evaluation directly.
+//
+//	gwsweep -json report.json && gwplot -in report.json
+//	gwplot -threads 8            # run + plot in one go
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostwriter/internal/harness"
+	"ghostwriter/internal/plot"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "JSON report from gwsweep -json (empty = run the evaluation now)")
+		scale   = flag.Int("scale", 1, "input scale when running the evaluation")
+		threads = flag.Int("threads", 24, "threads when running the evaluation")
+	)
+	flag.Parse()
+	rep, err := load(*in, harness.Options{Scale: *scale, Threads: *threads})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwplot:", err)
+		os.Exit(1)
+	}
+	render(rep)
+}
+
+func load(path string, opt harness.Options) (*harness.Report, error) {
+	if path == "" {
+		return harness.BuildReport(opt)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep harness.Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func render(rep *harness.Report) {
+	w := os.Stdout
+
+	var naive, priv []plot.Bar
+	for _, p := range rep.Fig1 {
+		label := fmt.Sprintf("%2d threads", p.Threads)
+		naive = append(naive, plot.Bar{Label: label, Value: p.NaiveSpeedup})
+		priv = append(priv, plot.Bar{Label: label, Value: p.PrivatizedSpeed})
+	}
+	plot.HBar(w, plot.Config{Title: "Fig. 1a — naive dot product speedup (Listing 1)", Unit: "x"}, naive)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 1b — privatized dot product speedup (Listing 2)", Unit: "x"}, priv)
+	fmt.Fprintln(w)
+
+	var sim8 []plot.Bar
+	for _, r := range rep.Fig2 {
+		sim8 = append(sim8, plot.Bar{Label: r.App, Value: r.CDF[8] * 100})
+	}
+	plot.HBar(w, plot.Config{Title: "Fig. 2 — stores within 8-distance of the overwritten value", Unit: "%", Max: 100}, sim8)
+	fmt.Fprintln(w)
+
+	var gs, gi, traffic, energy, speedup, errBars []plot.Bar
+	for _, s := range rep.Suite {
+		gs = append(gs, plot.Bar{Label: s.App, Value: s.GSPct8})
+		gi = append(gi, plot.Bar{Label: s.App, Value: s.GIPct8})
+		traffic = append(traffic, plot.Bar{Label: s.App, Value: (1 - s.TrafficNorm8) * 100})
+		energy = append(energy, plot.Bar{Label: s.App, Value: s.EnergySaved8Pct})
+		speedup = append(speedup, plot.Bar{Label: s.App, Value: s.Speedup8Pct})
+		errBars = append(errBars, plot.Bar{Label: s.App, Value: s.Error8Pct})
+	}
+	plot.HBar(w, plot.Config{Title: "Fig. 7a — S-store misses serviced by GS (d=8)", Unit: "%", Max: 100}, gs)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 7b — I-store misses serviced by GI (d=8)", Unit: "%", Max: 100}, gi)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 8 — coherence traffic reduction (d=8)", Unit: "%"}, traffic)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 9 — dynamic energy saved (d=8)", Unit: "%"}, energy)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 10 — speedup (d=8)", Unit: "%"}, speedup)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 11 — output error (d=8)", Unit: "%"}, errBars)
+	fmt.Fprintln(w)
+
+	var giUtil, giErr []plot.Bar
+	for _, p := range rep.Fig12 {
+		label := fmt.Sprintf("timeout %4d", p.Timeout)
+		giUtil = append(giUtil, plot.Bar{Label: label, Value: p.GIFracPct})
+		giErr = append(giErr, plot.Bar{Label: label, Value: p.ErrorPct})
+	}
+	plot.HBar(w, plot.Config{Title: "Fig. 12a — GI utilization vs timeout (bad_dot_product, d=4)", Unit: "%"}, giUtil)
+	fmt.Fprintln(w)
+	plot.HBar(w, plot.Config{Title: "Fig. 12b — output error vs timeout", Unit: "%"}, giErr)
+}

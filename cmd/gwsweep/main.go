@@ -1,0 +1,133 @@
+// Command gwsweep regenerates the paper's evaluation: every figure and
+// table of §4, printed as the data series the paper plots. Use -exp to
+// select one experiment or "all" (the default) for the whole evaluation.
+//
+//	gwsweep                       # everything, paper configuration
+//	gwsweep -exp fig9 -threads 24 # one figure
+//	gwsweep -scale 4              # larger inputs (slower, tighter shapes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostwriter/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|tab1|tab2|ext|trend")
+		scale    = flag.Int("scale", 1, "input scale factor")
+		threads  = flag.Int("threads", 24, "worker threads")
+		jsonPath = flag.String("json", "", "also write the full evaluation as JSON to this file")
+	)
+	flag.Parse()
+	opt := harness.Options{Scale: *scale, Threads: *threads}
+	if err := run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "gwsweep:", err)
+		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "gwsweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON runs the full evaluation once more and dumps it for plotting.
+func writeJSON(path string, opt harness.Options) error {
+	rep, err := harness.BuildReport(opt)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func run(exp string, opt harness.Options) error {
+	w := os.Stdout
+	needSuite := false
+	switch exp {
+	case "all", "fig7", "fig8", "fig9", "fig10", "fig11":
+		needSuite = true
+	}
+
+	if exp == "all" || exp == "tab1" {
+		harness.Table1(w)
+		fmt.Fprintln(w)
+	}
+	if exp == "all" || exp == "tab2" {
+		harness.Table2(w, opt)
+		fmt.Fprintln(w)
+	}
+	if exp == "all" || exp == "fig1" {
+		if _, err := harness.Fig1(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if exp == "all" || exp == "fig2" {
+		if _, err := harness.Fig2(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if needSuite {
+		suite, err := harness.RunSuite(opt)
+		if err != nil {
+			return err
+		}
+		if exp == "all" || exp == "fig7" {
+			harness.Fig7(w, suite)
+			fmt.Fprintln(w)
+		}
+		if exp == "all" || exp == "fig8" {
+			harness.Fig8(w, suite)
+			fmt.Fprintln(w)
+		}
+		if exp == "all" || exp == "fig9" {
+			harness.Fig9(w, suite)
+			fmt.Fprintln(w)
+		}
+		if exp == "all" || exp == "fig10" {
+			harness.Fig10(w, suite)
+			fmt.Fprintln(w)
+		}
+		if exp == "all" || exp == "fig11" {
+			harness.Fig11(w, suite)
+			fmt.Fprintln(w)
+		}
+	}
+	if exp == "all" || exp == "fig12" {
+		if _, err := harness.Fig12(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if exp == "all" || exp == "ext" {
+		if _, err := harness.Extensions(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if exp == "trend" {
+		if _, err := harness.ScaleTrend(w, opt, []int{1, 2, 4}); err != nil {
+			return err
+		}
+	}
+	switch exp {
+	case "all", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab1", "tab2", "ext", "trend":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

@@ -1,0 +1,113 @@
+// Autotune: the §3.5 accuracy/performance trade-off knob, end to end.
+//
+// An iterative stencil (like imagepipeline, but parametrized) is run across
+// the d-distance range; for each setting we measure speedup over baseline
+// MESI and the output's deviation from the precise run. The program then
+// picks the most aggressive d-distance that keeps the deviation under a
+// quality target — the profile-guided tuning loop the paper sketches with
+// Green/SAGE-style frameworks.
+//
+//	go run ./examples/autotune            # 1.0% quality target
+//	go run ./examples/autotune -target 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+
+	ghostwriter "ghostwriter"
+)
+
+const (
+	side    = 48
+	iters   = 5
+	threads = 8
+)
+
+// workload runs the shared-grid relaxation at a given d-distance and
+// returns cycles plus the resulting grid.
+func workload(input []uint8, d int) (uint64, []float64) {
+	cfg := ghostwriter.Config{}
+	if d > 0 {
+		cfg.Protocol = ghostwriter.Ghostwriter
+	}
+	sys := ghostwriter.New(cfg)
+	grid := sys.Alloc(side*side, 64)
+	sys.Preload(grid, input)
+
+	cycles := sys.Run(threads, func(t *ghostwriter.Thread) {
+		if d > 0 {
+			t.SetApproxDist(d)
+		}
+		for it := 0; it < iters; it++ {
+			for y := 1; y < side-1; y++ {
+				if y%t.N() != t.ID() {
+					continue
+				}
+				for x := 1; x < side-1; x++ {
+					i := ghostwriter.Addr(y*side + x)
+					sum := int(t.Load8(grid+i-1)) + int(t.Load8(grid+i+1)) +
+						int(t.Load8(grid+i-side)) + int(t.Load8(grid+i+side))
+					t.Scribble8(grid+i, uint8(sum/4))
+				}
+			}
+			t.Barrier()
+		}
+	})
+	out := make([]float64, side*side)
+	for i := range out {
+		out[i] = float64(uint8(sys.ReadCoherent(grid+ghostwriter.Addr(i), 1)))
+	}
+	return cycles, out
+}
+
+func nrmsePct(a, g []float64) float64 {
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range g {
+		d := a[i] - g[i]
+		sum += d * d
+		lo, hi = math.Min(lo, g[i]), math.Max(hi, g[i])
+	}
+	if hi == lo {
+		return 0
+	}
+	return math.Sqrt(sum/float64(len(g))) / (hi - lo) * 100
+}
+
+func main() {
+	target := flag.Float64("target", 1.0, "output quality target (max NRMSE, percent)")
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(17))
+	input := make([]uint8, side*side)
+	for i := range input {
+		input[i] = uint8(r.Intn(256))
+	}
+
+	baseCycles, golden := workload(input, 0)
+	fmt.Printf("grid relaxation %dx%d, %d iterations, %d threads\n", side, side, iters, threads)
+	fmt.Printf("baseline MESI: %d cycles\n\n", baseCycles)
+	fmt.Printf("%4s %10s %10s %10s\n", "d", "cycles", "speedup", "NRMSE")
+
+	best, bestSpeedup := 0, 1.0
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7} {
+		cycles, out := workload(input, d)
+		speedup := float64(baseCycles) / float64(cycles)
+		errPct := nrmsePct(out, golden)
+		mark := " "
+		if errPct <= *target && speedup > bestSpeedup {
+			best, bestSpeedup = d, speedup
+			mark = "*"
+		}
+		fmt.Printf("%3d%s %10d %9.2fx %9.3f%%\n", d, mark, cycles, speedup, errPct)
+	}
+	if best == 0 {
+		fmt.Printf("\nno d-distance met the %.2f%% target: stay on the baseline protocol\n", *target)
+		return
+	}
+	fmt.Printf("\nchosen d-distance: %d (%.2fx speedup within the %.2f%% quality target)\n",
+		best, bestSpeedup, *target)
+}

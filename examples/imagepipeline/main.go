@@ -1,0 +1,125 @@
+// Imagepipeline: an approximate image-processing pipeline in the spirit of
+// the paper's jpeg benchmark and its RGB-pixel motivating example (§2):
+// "allowing some deviation within the last few bits would alter the blue
+// coloring... the change may be imperceptible".
+//
+// Threads iteratively smooth a shared grayscale image in place. Tile rows
+// from different threads share cache blocks at tile boundaries, and pixel
+// values change only slightly between iterations — exactly the combination
+// of false sharing and value similarity Ghostwriter exploits. The example
+// reports traffic/cycles and the final image's deviation (NRMSE) from the
+// exact pipeline at several d-distances.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ghostwriter "ghostwriter"
+)
+
+const (
+	width      = 64
+	height     = 64
+	iterations = 6
+	threads    = 8
+)
+
+// makeImage builds a synthetic noisy gradient.
+func makeImage() []uint8 {
+	r := rand.New(rand.NewSource(5))
+	img := make([]uint8, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 96 + 64*math.Sin(float64(x)/9)*math.Cos(float64(y)/11) + float64(r.Intn(33))
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*width+x] = uint8(v)
+		}
+	}
+	return img
+}
+
+func run(img []uint8, d int) (cycles, msgs uint64, out []float64) {
+	cfg := ghostwriter.Config{}
+	if d > 0 {
+		cfg.Protocol = ghostwriter.Ghostwriter
+	}
+	sys := ghostwriter.New(cfg)
+	buf := sys.Alloc(width*height, 64)
+	sys.Preload(buf, img)
+
+	cycles = sys.Run(threads, func(t *ghostwriter.Thread) {
+		if d > 0 {
+			t.SetApproxDist(d)
+		}
+		for it := 0; it < iterations; it++ {
+			// Rows interleave across threads, and the 5-point stencil reads
+			// the rows above and below — which belong to *other* threads —
+			// so every row exchange crosses caches, and in-place updates
+			// keep invalidating the neighbours' copies.
+			for y := 1; y < height-1; y++ {
+				if y%t.N() != t.ID() {
+					continue
+				}
+				for x := 1; x < width-1; x++ {
+					i := ghostwriter.Addr(y*width + x)
+					l := int(t.Load8(buf + i - 1))
+					c := int(t.Load8(buf + i))
+					r := int(t.Load8(buf + i + 1))
+					u := int(t.Load8(buf + i - width))
+					dn := int(t.Load8(buf + i + width))
+					t.Scribble8(buf+i, uint8((l+c+r+u+dn)/5))
+				}
+				t.Compute(32) // per-row address arithmetic
+			}
+			t.Barrier()
+		}
+	})
+
+	out = make([]float64, width*height)
+	for i := range out {
+		out[i] = float64(uint8(sys.ReadCoherent(buf+ghostwriter.Addr(i), 1)))
+	}
+	return cycles, sys.Stats().TotalMsgs(), out
+}
+
+// nrmse is the normalized root-mean-squared error in percent.
+func nrmse(a, g []float64) float64 {
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range g {
+		d := a[i] - g[i]
+		sum += d * d
+		lo = math.Min(lo, g[i])
+		hi = math.Max(hi, g[i])
+	}
+	return math.Sqrt(sum/float64(len(g))) / (hi - lo) * 100
+}
+
+func main() {
+	img := makeImage()
+	// The precise reference is the baseline-protocol run of the same
+	// parallel pipeline (an in-place parallel stencil has no meaningful
+	// sequential golden; what approximation may change is the deviation
+	// from the *exact* parallel execution).
+	_, _, golden := run(img, 0)
+
+	fmt.Printf("iterative smoothing, %dx%d image, %d iterations, %d threads\n\n",
+		width, height, iterations, threads)
+	fmt.Printf("%4s %10s %10s %12s\n", "d", "cycles", "messages", "NRMSE")
+	for _, d := range []int{0, 2, 4, 6} {
+		cycles, msgs, out := run(img, d)
+		fmt.Printf("%4d %10d %10d %11.3f%%\n", d, cycles, msgs, nrmse(out, golden))
+	}
+	fmt.Println("\nSmall d-distances keep the smoothed image visually identical while")
+	fmt.Println("absorbing boundary-block false sharing; larger ones trade a little")
+	fmt.Println("pixel deviation for more traffic reduction — the paper's RGB example.")
+}

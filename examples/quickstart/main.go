@@ -1,0 +1,66 @@
+// Quickstart: the smallest end-to-end Ghostwriter session.
+//
+// Four threads increment per-thread counters that all live in one cache
+// block — the canonical false-sharing pattern. We run the same kernel under
+// baseline MESI and under Ghostwriter with 4-distance scribbles, and compare
+// cycles, coherence traffic, and the counters' coherent final values.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	ghostwriter "ghostwriter"
+)
+
+const (
+	threads    = 4
+	increments = 2000
+)
+
+func run(proto ghostwriter.Protocol) (cycles uint64, msgs uint64, finals []uint32) {
+	sys := ghostwriter.New(ghostwriter.Config{Protocol: proto})
+
+	// One packed block of counters: counters[i] belongs to thread i, but
+	// they all share a cache block (AllocPadded isolates the array from
+	// other data without separating the counters from each other).
+	counters := sys.NewUint32Array(make([]uint32, threads), true)
+
+	cycles = sys.Run(threads, func(t *ghostwriter.Thread) {
+		// Program the scribe comparator (the paper's setaprx instruction).
+		// Under the Baseline protocol scribbles run as ordinary stores, so
+		// the same kernel works for both configurations.
+		t.SetApproxDist(4)
+		mine := counters.Addr(t.ID())
+		var v uint32
+		for i := 0; i < increments; i++ {
+			// total in a register, written through each iteration: the
+			// Listing 1 pattern from the paper.
+			v++
+			t.Scribble32(mine, v)
+		}
+		// approx_end: leave the approximate region and publish the final
+		// count precisely.
+		t.SetApproxDist(-1)
+		t.Store32(mine, v)
+	})
+	return cycles, sys.Stats().TotalMsgs(), counters.ReadAll()
+}
+
+func main() {
+	baseCycles, baseMsgs, baseVals := run(ghostwriter.Baseline)
+	gwCycles, gwMsgs, gwVals := run(ghostwriter.Ghostwriter)
+
+	fmt.Println("false-sharing counters,", threads, "threads x", increments, "increments")
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "ghostwriter")
+	fmt.Printf("%-22s %12d %12d\n", "cycles", baseCycles, gwCycles)
+	fmt.Printf("%-22s %12d %12d\n", "coherence messages", baseMsgs, gwMsgs)
+	fmt.Printf("%-22s %11.2fx %11.2fx\n", "speedup vs baseline",
+		1.0, float64(baseCycles)/float64(gwCycles))
+	fmt.Printf("%-22s %12v %12v\n", "final counters", baseVals, gwVals)
+	fmt.Println()
+	fmt.Println("Ghostwriter absorbs most of the invalidation ping-pong into the")
+	fmt.Println("GS/GI approximate states; the conventional stores after approx_end")
+	fmt.Println("publish the exact totals, so the output stays correct.")
+}

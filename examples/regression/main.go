@@ -1,0 +1,138 @@
+// Regression: a deeper walkthrough of the paper's headline application
+// pattern — linear regression with packed per-thread accumulator structs
+// that falsely share cache blocks (Phoenix's lreg_args).
+//
+// The example sweeps the d-distance from 0 (baseline MESI) to 12 and
+// reports, for each setting: execution cycles, coherence traffic, how many
+// would-be store misses the GS/GI states absorbed, and the error of the
+// fitted line — showing the paper's accuracy/performance trade-off knob in
+// action.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ghostwriter "ghostwriter"
+)
+
+const (
+	points     = 20000
+	threads    = 8
+	fieldCount = 5  // SX, SXX, SY, SYY, SXY
+	stride     = 56 // packed struct: 5 accumulators + bookkeeping, < 64B
+)
+
+// input is the shared, read-only point set.
+type input struct {
+	xs, ys []uint8
+}
+
+func makeInput() input {
+	r := rand.New(rand.NewSource(99))
+	in := input{xs: make([]uint8, points), ys: make([]uint8, points)}
+	for i := range in.xs {
+		x := r.Intn(256)
+		y := (x*2)/3 + 30 + r.Intn(11) - 5
+		in.xs[i] = uint8(x)
+		in.ys[i] = uint8(y)
+	}
+	return in
+}
+
+// fit converts the five sums into (slope, intercept).
+func fit(s [fieldCount]uint64, n int) (slope, intercept float64) {
+	sx, sxx, sy, sxy := float64(s[0]), float64(s[1]), float64(s[2]), float64(s[4])
+	fn := float64(n)
+	slope = (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept
+}
+
+func run(in input, d int) (cycles, msgs, absorbed uint64, slope, intercept float64) {
+	cfg := ghostwriter.Config{}
+	if d > 0 {
+		cfg.Protocol = ghostwriter.Ghostwriter
+	}
+	sys := ghostwriter.New(cfg)
+
+	// Load the points into simulated DRAM.
+	pts := sys.Alloc(2*points, 64)
+	for i := 0; i < points; i++ {
+		sys.PreloadUint(pts+ghostwriter.Addr(2*i), 1, uint64(in.xs[i]))
+		sys.PreloadUint(pts+ghostwriter.Addr(2*i+1), 1, uint64(in.ys[i]))
+	}
+	// The packed accumulator structs: 56-byte stride across 64-byte blocks
+	// means neighbouring threads' structs falsely share blocks.
+	args := sys.Alloc(stride*threads, 8)
+	field := func(tid, f int) ghostwriter.Addr {
+		return args + ghostwriter.Addr(stride*tid+8*f)
+	}
+
+	cycles = sys.Run(threads, func(t *ghostwriter.Thread) {
+		if d > 0 {
+			t.SetApproxDist(d)
+		}
+		per := points / t.N()
+		lo := t.ID() * per
+		hi := lo + per
+		if t.ID() == t.N()-1 {
+			hi = points
+		}
+		var acc [fieldCount]uint64
+		for i := lo; i < hi; i++ {
+			x := uint64(t.Load8(pts + ghostwriter.Addr(2*i)))
+			y := uint64(t.Load8(pts + ghostwriter.Addr(2*i+1)))
+			for f, delta := range [fieldCount]uint64{x, x * x, y, y * y, x * y} {
+				acc[f] += delta
+				t.Scribble64(field(t.ID(), f), acc[f])
+			}
+		}
+		// Leave the approximate region and hand the results off precisely.
+		t.SetApproxDist(-1)
+		for f := 0; f < fieldCount; f++ {
+			t.Store64(field(t.ID(), f), acc[f])
+		}
+	})
+
+	var sums [fieldCount]uint64
+	for tid := 0; tid < threads; tid++ {
+		for f := 0; f < fieldCount; f++ {
+			sums[f] += sys.ReadCoherent64(field(tid, f))
+		}
+	}
+	slope, intercept = fit(sums, points)
+	st := sys.Stats()
+	return cycles, st.TotalMsgs(), st.ServicedByGS + st.ServicedByGI, slope, intercept
+}
+
+func main() {
+	in := makeInput()
+
+	// Exact reference, computed on the host.
+	var golden [fieldCount]uint64
+	for i := 0; i < points; i++ {
+		x, y := uint64(in.xs[i]), uint64(in.ys[i])
+		for f, delta := range [fieldCount]uint64{x, x * x, y, y * y, x * y} {
+			golden[f] += delta
+		}
+	}
+	gSlope, gIntercept := fit(golden, points)
+	fmt.Printf("golden fit: y = %.4f x + %.4f (%d points, %d threads)\n\n",
+		gSlope, gIntercept, points, threads)
+
+	fmt.Printf("%4s %10s %10s %10s %22s %12s\n",
+		"d", "cycles", "messages", "absorbed", "fit", "slope err")
+	for _, d := range []int{0, 2, 4, 8, 12} {
+		cycles, msgs, absorbed, slope, intercept := run(in, d)
+		fmt.Printf("%4d %10d %10d %10d   y = %.4f x + %6.3f %11.5f%%\n",
+			d, cycles, msgs, absorbed, slope, intercept,
+			math.Abs(slope-gSlope)/gSlope*100)
+	}
+	fmt.Println("\nLarger d-distances let the scribe comparator absorb more of the")
+	fmt.Println("false-sharing stores into GS/GI, cutting traffic and cycles, while")
+	fmt.Println("the post-region handoff keeps the fitted line essentially exact.")
+}

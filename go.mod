@@ -1,0 +1,3 @@
+module ghostwriter
+
+go 1.22

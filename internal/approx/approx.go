@@ -1,0 +1,88 @@
+// Package approx implements the bit-wise value-similarity arithmetic used by
+// the Ghostwriter scribe comparator.
+//
+// Two values are d-distance similar when they are identical in every bit
+// except possibly the d least-significant bits (Wong et al.'s d-distance, as
+// adopted by the Ghostwriter paper §2). For example 121 (1111001b) and
+// 125 (1111101b) are 3-distance similar: their bits agree above the lowest 3.
+// Note that d-distance is a bit-wise notion, not an arithmetic one: -1 and 0
+// differ in every bit and are maximally dissimilar despite being
+// arithmetically adjacent.
+package approx
+
+import "math"
+
+// Width is the size in bits of a compared value. The scribe comparator
+// operates on the access width of the store instruction.
+type Width uint8
+
+// Supported access widths.
+const (
+	W8  Width = 8
+	W16 Width = 16
+	W32 Width = 32
+	W64 Width = 64
+)
+
+// Bytes returns the access width in bytes.
+func (w Width) Bytes() int { return int(w) / 8 }
+
+// Valid reports whether w is one of the supported access widths.
+func (w Width) Valid() bool {
+	switch w {
+	case W8, W16, W32, W64:
+		return true
+	}
+	return false
+}
+
+// mask returns a mask with the w low bits set.
+func (w Width) mask() uint64 {
+	if w >= 64 {
+		return math.MaxUint64
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Distance returns the d-distance between a and b at width w: the smallest d
+// such that a and b agree on all bits above the d least-significant bits.
+// Identical values have distance 0; values differing in the top bit have
+// distance w.
+func Distance(a, b uint64, w Width) int {
+	diff := (a ^ b) & w.mask()
+	return bitLen(diff)
+}
+
+// Within reports whether a and b are d-distance similar at width w: whether
+// all bits above the d least-significant agree. A negative d never matches;
+// d >= w always matches (any value may be written, the undesirable extreme
+// the paper warns about for narrow types).
+func Within(a, b uint64, w Width, d int) bool {
+	if d < 0 {
+		return false
+	}
+	if d >= int(w) {
+		return true
+	}
+	diff := (a ^ b) & w.mask()
+	return diff>>uint(d) == 0
+}
+
+// MaxLegalDistance returns the largest d-distance that still constrains a
+// value of width w, i.e. w-1. The paper's compiler rejects d >= w ("using
+// 8-distance for byte-sized data would allow any value to be written").
+func MaxLegalDistance(w Width) int { return int(w) - 1 }
+
+// LegalDistance reports whether d is a usable d-distance for width w:
+// non-negative and strictly below the width.
+func LegalDistance(d int, w Width) bool { return d >= 0 && d < int(w) }
+
+// bitLen returns the number of bits needed to represent x (0 for x == 0).
+func bitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

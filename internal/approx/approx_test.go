@@ -1,0 +1,165 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancePaperExamples(t *testing.T) {
+	// Examples from §2 of the paper.
+	cases := []struct {
+		a, b uint64
+		w    Width
+		want int
+	}{
+		{124, 127, W8, 2}, // 01111100 vs 01111111: low 2 bits differ
+		{127, 128, W8, 8}, // 01111111 vs 10000000: all bits differ
+		{121, 125, W8, 3}, // 1111001 vs 1111101: 3-distance
+		{0, 0, W32, 0},    // identical
+		{5, 5, W64, 0},    // identical
+		{0, 1, W16, 1},    // lowest bit
+		{0, 1 << 15, W16, 16},
+		{0xFFFF, 0x0000, W16, 16}, // -1 vs 0: arithmetically close, maximally dissimilar
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b, c.w); got != c.want {
+			t.Errorf("Distance(%#x, %#x, %d) = %d, want %d", c.a, c.b, c.w, got, c.want)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		w    Width
+		d    int
+		want bool
+	}{
+		{124, 127, W8, 2, true},
+		{124, 127, W8, 1, false},
+		{127, 128, W8, 7, false},
+		{127, 128, W8, 8, true}, // d == width: anything goes
+		{121, 125, W8, 3, true},
+		{121, 125, W8, 2, false},
+		{42, 99, W32, -1, false},
+		{0xFFFFFFFF, 0, W32, 31, false},
+		{1 << 40, 0, W32, 0, true}, // bits above the width are masked off
+	}
+	for _, c := range cases {
+		if got := Within(c.a, c.b, c.w, c.d); got != c.want {
+			t.Errorf("Within(%#x, %#x, %d, %d) = %v, want %v", c.a, c.b, c.w, c.d, got, c.want)
+		}
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if W32.Bytes() != 4 || W8.Bytes() != 1 || W64.Bytes() != 8 || W16.Bytes() != 2 {
+		t.Fatal("Width.Bytes wrong")
+	}
+	for _, w := range []Width{W8, W16, W32, W64} {
+		if !w.Valid() {
+			t.Errorf("Width %d should be valid", w)
+		}
+	}
+	if Width(12).Valid() || Width(0).Valid() {
+		t.Error("invalid widths reported valid")
+	}
+	if MaxLegalDistance(W8) != 7 || MaxLegalDistance(W64) != 63 {
+		t.Error("MaxLegalDistance wrong")
+	}
+	if LegalDistance(8, W8) || !LegalDistance(7, W8) || LegalDistance(-1, W32) {
+		t.Error("LegalDistance wrong")
+	}
+}
+
+// Property: Within(a, b, w, d) holds iff Distance(a, b, w) <= d, for legal d.
+func TestWithinMatchesDistanceProperty(t *testing.T) {
+	f := func(a, b uint64, dRaw uint8) bool {
+		for _, w := range []Width{W8, W16, W32, W64} {
+			d := int(dRaw) % (int(w) + 1)
+			if Within(a, b, w, d) != (Distance(a, b, w) <= d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Distance is a symmetric pseudo-metric bounded by the width, and
+// zero exactly for values that agree within the width's mask.
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		for _, w := range []Width{W8, W16, W32, W64} {
+			d := Distance(a, b, w)
+			if d != Distance(b, a, w) {
+				return false
+			}
+			if d < 0 || d > int(w) {
+				return false
+			}
+			same := a&w.mask() == b&w.mask()
+			if (d == 0) != same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping exactly bit k yields distance k+1.
+func TestDistanceSingleBitFlip(t *testing.T) {
+	f := func(a uint64, kRaw uint8) bool {
+		for _, w := range []Width{W8, W16, W32, W64} {
+			k := int(kRaw) % int(w)
+			b := a ^ (1 << uint(k))
+			if Distance(a, b, w) != k+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f32 := func(f float32) bool {
+		if math.IsNaN(float64(f)) {
+			return true
+		}
+		return Float32FromBits(Float32Bits(f)) == f
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+	f64 := func(f float64) bool {
+		if math.IsNaN(f) {
+			return true
+		}
+		return Float64FromBits(Float64Bits(f)) == f
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatSimilarity(t *testing.T) {
+	// Two floats that differ only in low mantissa bits are similar at small d.
+	a := Float32Bits(1.0)
+	b := a + 3 // perturb the 2 lowest mantissa bits
+	if !Within(a, b, W32, 2) {
+		t.Error("low-mantissa perturbation should be 2-distance similar")
+	}
+	// Floats of different sign differ in the top bit: never similar below w.
+	if Within(Float32Bits(1.0), Float32Bits(-1.0), W32, 31) {
+		t.Error("sign flip must not be similar")
+	}
+}

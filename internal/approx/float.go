@@ -1,0 +1,19 @@
+package approx
+
+import "math"
+
+// Float32Bits returns the IEEE-754 bit pattern of f as a uint64 suitable for
+// Distance/Within at width W32. d-distance on floats constrains the low
+// mantissa bits, per §3.4 of the paper ("small d-distances only apply to the
+// mantissa in floating point values").
+func Float32Bits(f float32) uint64 { return uint64(math.Float32bits(f)) }
+
+// Float32FromBits is the inverse of Float32Bits.
+func Float32FromBits(b uint64) float32 { return math.Float32frombits(uint32(b)) }
+
+// Float64Bits returns the IEEE-754 bit pattern of f as a uint64 suitable for
+// Distance/Within at width W64.
+func Float64Bits(f float64) uint64 { return math.Float64bits(f) }
+
+// Float64FromBits is the inverse of Float64Bits.
+func Float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

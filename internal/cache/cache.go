@@ -1,0 +1,318 @@
+// Package cache implements the set-associative cache arrays used for both
+// L1s and L2 banks: tag RAM, per-block data, tree pseudo-LRU replacement
+// (Table 1 of the paper), and storage for the coherence state of each block,
+// including Ghostwriter's approximate states.
+package cache
+
+import (
+	"fmt"
+
+	"ghostwriter/internal/mem"
+)
+
+// State is the coherence state of one cache block. The stable states follow
+// Fig. 3 of the paper: MESI plus Ghostwriter's GS and GI. Transient states
+// are used by the L1 controller while a transaction is outstanding.
+type State uint8
+
+// Stable states.
+const (
+	// Invalid: the tag is present but the block holds stale, incoherent
+	// data. The paper is explicit that I retains the tag (and this model
+	// also retains the stale data, which is what the scribe comparator
+	// inspects for GI entry). A block with no tag at all is simply absent
+	// from the cache (Block.Valid == false).
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	// GS: locally modified copy of a previously Shared block, hidden from
+	// the global view; still on the directory sharer list.
+	GS
+	// GI: locally modified copy of a previously Invalid block, unknown to
+	// the directory; reverts to Invalid on the periodic timeout.
+	GI
+
+	// Transient states (L1 controller).
+	ISD // GETS issued, awaiting data
+	IMD // GETX issued, awaiting data
+	SMA // UPGRADE issued, awaiting ack (or data if the upgrade raced)
+	EVA // eviction PUT issued, awaiting ack; still serves forwards
+)
+
+// String returns the conventional protocol-table name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case GS:
+		return "GS"
+	case GI:
+		return "GI"
+	case ISD:
+		return "IS_D"
+	case IMD:
+		return "IM_D"
+	case SMA:
+		return "SM_A"
+	case EVA:
+		return "EV_A"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Stable reports whether s is a stable (non-transient) state.
+func (s State) Stable() bool { return s <= GI }
+
+// ReadableLocally reports whether a load may hit on a block in this state.
+// GS and GI grant local read permission per §3.2 of the paper.
+func (s State) ReadableLocally() bool {
+	switch s {
+	case Shared, Exclusive, Modified, GS, GI:
+		return true
+	}
+	return false
+}
+
+// WritableLocally reports whether a store may complete locally without a
+// coherence transaction. GS and GI have full local write permission.
+func (s State) WritableLocally() bool {
+	switch s {
+	case Exclusive, Modified, GS, GI:
+		return true
+	}
+	return false
+}
+
+// Approximate reports whether s is one of Ghostwriter's approximate states.
+func (s State) Approximate() bool { return s == GS || s == GI }
+
+// Block is one cache frame: a tag, a coherence state, and a copy of the
+// block's data. Approximate execution is functionally modelled, so each L1
+// genuinely holds (possibly divergent) data.
+type Block struct {
+	Valid bool // tag valid; false means the frame is empty
+	Tag   uint64
+	State State
+	Data  []byte
+	// Hidden counts the writes absorbed during the current GS/GI residency
+	// (the drift monitor of §3.5's error-bounding extension; unused when
+	// the bound is disabled).
+	Hidden uint32
+}
+
+// ReadWord reads a little-endian value of widthBytes at byte offset off.
+func (b *Block) ReadWord(off, widthBytes int) uint64 {
+	return mem.DecodeUint(b.Data[off : off+widthBytes])
+}
+
+// WriteWord writes a little-endian value of widthBytes at byte offset off.
+func (b *Block) WriteWord(off, widthBytes int, v uint64) {
+	mem.EncodeUint(b.Data[off:off+widthBytes], v)
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity (power of two)
+	BlockSize int // bytes per block (power of two)
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockSize) }
+
+// Cache is a set-associative array with tree pseudo-LRU replacement.
+type Cache struct {
+	cfg       Config
+	sets      [][]Block
+	plru      []uint64 // one PLRU tree (bit field) per set
+	setShift  uint
+	setMask   uint64
+	blockMask uint64
+}
+
+// New builds a cache. Ways and BlockSize must be powers of two and the
+// capacity must divide evenly into sets.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Ways&(cfg.Ways-1) != 0 {
+		panic(fmt.Sprintf("cache: ways %d not a power of two", cfg.Ways))
+	}
+	if cfg.BlockSize <= 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		panic(fmt.Sprintf("cache: block size %d not a power of two", cfg.BlockSize))
+	}
+	nsets := cfg.Sets()
+	if nsets <= 0 || nsets*cfg.Ways*cfg.BlockSize != cfg.SizeBytes {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d-way sets of %dB blocks",
+			cfg.SizeBytes, cfg.Ways, cfg.BlockSize))
+	}
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]Block, nsets),
+		plru:      make([]uint64, nsets),
+		setMask:   uint64(nsets - 1),
+		blockMask: uint64(cfg.BlockSize - 1),
+	}
+	for shift := uint(0); 1<<shift < cfg.BlockSize; shift++ {
+		c.setShift = shift + 1
+	}
+	for i := range c.sets {
+		ways := make([]Block, cfg.Ways)
+		for w := range ways {
+			ways[w].Data = make([]byte, cfg.BlockSize)
+		}
+		c.sets[i] = ways
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockBase returns the block-aligned base of an address.
+func (c *Cache) BlockBase(a mem.Addr) mem.Addr { return a &^ mem.Addr(c.blockMask) }
+
+// Offset returns the byte offset of an address within its block.
+func (c *Cache) Offset(a mem.Addr) int { return int(uint64(a) & c.blockMask) }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(a mem.Addr) int {
+	return int((uint64(a) >> c.setShift) & c.setMask)
+}
+
+// tag returns the tag bits of an address.
+func (c *Cache) tag(a mem.Addr) uint64 { return uint64(a) >> c.setShift >> trailingZeros(c.setMask+1) }
+
+// Lookup returns the frame holding the block containing a, if the tag is
+// present (in any state, including Invalid). It does not update PLRU.
+func (c *Cache) Lookup(a mem.Addr) *Block {
+	set := c.sets[c.SetIndex(a)]
+	tag := c.tag(a)
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			return &set[w]
+		}
+	}
+	return nil
+}
+
+// Touch marks the frame holding address a as most-recently used.
+func (c *Cache) Touch(a mem.Addr) {
+	si := c.SetIndex(a)
+	set := c.sets[si]
+	tag := c.tag(a)
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			c.touchWay(si, w)
+			return
+		}
+	}
+}
+
+// touchWay updates the PLRU tree so that way w is protected.
+func (c *Cache) touchWay(si, w int) {
+	ways := c.cfg.Ways
+	node := 1
+	for span := ways; span > 1; span >>= 1 {
+		half := span >> 1
+		bit := uint64(1) << uint(node)
+		if w%span < half {
+			// Went left: point the tree right (away from this way).
+			c.plru[si] |= bit
+			node = node * 2
+		} else {
+			c.plru[si] &^= bit
+			node = node*2 + 1
+		}
+	}
+}
+
+// VictimWay selects the frame to evict from the set containing address a:
+// an empty frame if one exists, otherwise an Invalid-state frame (its data
+// is already incoherent), otherwise the PLRU way.
+func (c *Cache) VictimWay(a mem.Addr) *Block {
+	si := c.SetIndex(a)
+	set := c.sets[si]
+	for w := range set {
+		if !set[w].Valid {
+			return &set[w]
+		}
+	}
+	for w := range set {
+		if set[w].State == Invalid {
+			return &set[w]
+		}
+	}
+	// Walk the PLRU tree toward the least-recently-used way.
+	node := 1
+	w := 0
+	for span := c.cfg.Ways; span > 1; span >>= 1 {
+		half := span >> 1
+		bit := uint64(1) << uint(node)
+		if c.plru[si]&bit != 0 {
+			// Tree points right.
+			w += half
+			node = node*2 + 1
+		} else {
+			node = node * 2
+		}
+	}
+	return &set[w]
+}
+
+// Install claims frame b (which must belong to the set of address a) for
+// the block containing a, setting its tag and state and copying data (which
+// may be nil to zero-fill). It marks the frame most-recently used.
+func (c *Cache) Install(b *Block, a mem.Addr, st State, data []byte) {
+	b.Valid = true
+	b.Tag = c.tag(a)
+	b.State = st
+	if data != nil {
+		copy(b.Data, data)
+	} else {
+		for i := range b.Data {
+			b.Data[i] = 0
+		}
+	}
+	c.Touch(a)
+}
+
+// Evict clears frame b entirely (tag and all).
+func (c *Cache) Evict(b *Block) {
+	b.Valid = false
+	b.State = Invalid
+}
+
+// ForEach calls fn for every valid frame, in deterministic set/way order.
+func (c *Cache) ForEach(fn func(setIndex int, b *Block)) {
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			if c.sets[si][w].Valid {
+				fn(si, &c.sets[si][w])
+			}
+		}
+	}
+}
+
+// AddrOf reconstructs the block base address of a frame in set si.
+func (c *Cache) AddrOf(si int, b *Block) mem.Addr {
+	setBits := trailingZeros(c.setMask + 1)
+	return mem.Addr(b.Tag<<setBits<<c.setShift | uint64(si)<<c.setShift)
+}
+
+func trailingZeros(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

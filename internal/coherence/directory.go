@@ -1,0 +1,595 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ghostwriter/internal/dram"
+	"ghostwriter/internal/energy"
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/noc"
+	"ghostwriter/internal/sim"
+	"ghostwriter/internal/stats"
+)
+
+// DirConfig parametrizes a directory controller and its co-located L2 bank.
+type DirConfig struct {
+	Latency   sim.Cycle // directory lookup/update latency
+	L2Latency sim.Cycle // Table 1: 10 cycles
+	BlockSize int
+	// NoExclusive degrades the base protocol from MESI to MSI: a GETS on
+	// an uncached block is granted Shared rather than Exclusive. The paper
+	// notes the Ghostwriter states "can be added to most existing
+	// protocols"; this knob demonstrates it.
+	NoExclusive bool
+	// CapacityBlocks bounds the L2 bank's data capacity (Table 1:
+	// 128 kB x cores / banks worth of blocks). When a DRAM fill would
+	// overflow it, the bank evicts a victim line, recalling any L1 copies
+	// first (inclusive hierarchy). 0 means unbounded.
+	CapacityBlocks int
+	// MigratoryOpt enables a Stenström-style migratory-sharing
+	// optimization in the *baseline* protocol (§5 of the paper discusses
+	// this family as the conventional-architecture alternative to
+	// Ghostwriter): once a block is classified as migratory — consecutive
+	// generations of read-then-write by a single core — a read request is
+	// granted ownership directly, saving the follow-up UPGRADE and its
+	// invalidation.
+	MigratoryOpt bool
+}
+
+// dirState is the directory's view of a block.
+type dirState uint8
+
+const (
+	dirInvalid dirState = iota // no tracked copies
+	dirShared                  // one or more read-only copies (incl. hidden GS)
+	dirOwned                   // one owner in E or M
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirInvalid:
+		return "DI"
+	case dirShared:
+		return "DS"
+	case dirOwned:
+		return "DM"
+	}
+	return "?"
+}
+
+// dirLine is the directory entry plus L2 data for one block. The directory
+// is blocking: one transaction per block at a time, with later requests
+// queued FIFO.
+type dirLine struct {
+	state   dirState
+	owner   int
+	sharers uint32 // bitmask over L1 ids (≤ 32 cores)
+
+	hasData bool
+	data    []byte
+
+	busy        bool
+	cur         *Msg
+	queue       []*Msg
+	pendingAck  int
+	onAcksDone  func()
+	needUnblock bool // awaiting the requestor's Unblock
+	needData    bool // awaiting the owner's DataToDir writeback
+	// recallDone receives the owner's surrendered data during an
+	// L2-capacity recall of this line.
+	recallDone func(data []byte)
+
+	// Migratory-sharing detector state (MigratoryOpt): lastReader is the
+	// core whose GETS opened the current generation; generations counts
+	// consecutive read-then-write handoffs; migratory marks the block as
+	// classified.
+	lastReader  int
+	generations int
+	migratory   bool
+}
+
+// Directory is one of the (four, per Table 1) home directories with its L2
+// bank, placed at a mesh corner. It serializes coherence transactions per
+// block and is the ordering point of the protocol.
+type Directory struct {
+	id    int
+	node  noc.NodeID
+	eng   *sim.Engine
+	net   *noc.Network
+	meter *energy.Meter
+	st    *stats.Stats
+	cfg   DirConfig
+	dram  *dram.Channel
+	lines map[mem.Addr]*dirLine
+	// resident tracks the addresses whose lines hold L2 data, in fill
+	// order; the eviction scan walks it round-robin.
+	resident []mem.Addr
+	clock    int
+}
+
+// NewDirectory builds a directory at the given mesh node, backed by a DRAM
+// channel for blocks not present in its L2 bank.
+func NewDirectory(id int, node noc.NodeID, eng *sim.Engine, net *noc.Network,
+	cfg DirConfig, ch *dram.Channel, meter *energy.Meter, st *stats.Stats) *Directory {
+	return &Directory{
+		id:    id,
+		node:  node,
+		eng:   eng,
+		net:   net,
+		meter: meter,
+		st:    st,
+		cfg:   cfg,
+		dram:  ch,
+		lines: make(map[mem.Addr]*dirLine),
+	}
+}
+
+// Node returns the directory's mesh node.
+func (d *Directory) Node() noc.NodeID { return d.node }
+
+func (d *Directory) line(a mem.Addr) *dirLine {
+	e := d.lines[a]
+	if e == nil {
+		e = &dirLine{owner: -1}
+		d.lines[a] = e
+	}
+	return e
+}
+
+// Peek returns the directory's coherent data for a block, if it holds any
+// (used post-run by the machine's coherent-view reader, not by the
+// protocol). ok is false when the block is owned (the owner's copy is
+// authoritative) or was never cached here.
+func (d *Directory) Peek(a mem.Addr) (data []byte, ok bool) {
+	e := d.lines[a]
+	if e == nil || !e.hasData || e.state == dirOwned {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// Owner returns the owning L1 id for a block, or -1.
+func (d *Directory) Owner(a mem.Addr) int {
+	if e := d.lines[a]; e != nil && e.state == dirOwned {
+		return e.owner
+	}
+	return -1
+}
+
+// Sharers returns the sharer bitmask for a block.
+func (d *Directory) Sharers(a mem.Addr) uint32 {
+	if e := d.lines[a]; e != nil && e.state == dirShared {
+		return e.sharers
+	}
+	return 0
+}
+
+// Quiesced reports whether no transaction is in flight at this directory.
+func (d *Directory) Quiesced() bool {
+	for _, e := range d.lines {
+		if e.busy || len(e.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// send injects a message, with traffic accounting.
+func (d *Directory) send(dst noc.NodeID, m *Msg) {
+	d.st.AddMsg(m.Type.Class())
+	size := 0
+	if m.Type.CarriesData() {
+		size = d.cfg.BlockSize
+	}
+	d.net.Send(d.node, dst, size, m)
+}
+
+// sendCtl sends a control message to an L1.
+func (d *Directory) sendCtl(l1 int, t MsgType, a mem.Addr, requestor int) {
+	d.send(noc.NodeID(l1), &Msg{Type: t, Addr: a, From: d.id, Requestor: requestor})
+}
+
+// HandleMsg processes one network message addressed to this directory.
+func (d *Directory) HandleMsg(m *Msg) {
+	e := d.line(m.Addr)
+	switch m.Type {
+	case GETS, GETX, UPGRADE, PUTS, PUTE, PUTM:
+		if e.busy {
+			e.queue = append(e.queue, m)
+			return
+		}
+		d.begin(e, m)
+	case InvAck:
+		d.handleInvAck(e, m)
+	case DataToDir:
+		d.handleDataToDir(e, m)
+	case Unblock:
+		d.handleUnblock(e, m)
+	case RecallData:
+		d.handleRecallData(e, m)
+	default:
+		panic(fmt.Sprintf("dir %d: unexpected message %v", d.id, m.Type))
+	}
+}
+
+// begin starts a transaction: the block goes busy and the request is
+// dispatched after the directory lookup latency.
+func (d *Directory) begin(e *dirLine, m *Msg) {
+	e.busy = true
+	e.cur = m
+	d.eng.After(d.cfg.Latency, func() { d.dispatch(e, m) })
+}
+
+func (d *Directory) dispatch(e *dirLine, m *Msg) {
+	d.meter.DirAccess()
+	d.st.DirAccesses++
+	switch m.Type {
+	case GETS:
+		d.handleGETS(e, m)
+	case GETX, UPGRADE:
+		d.handleGETX(e, m)
+	case PUTS, PUTE, PUTM:
+		d.handlePUT(e, m)
+	}
+}
+
+// finish completes the current transaction and starts the next queued one.
+func (d *Directory) finish(e *dirLine) {
+	e.busy = false
+	e.cur = nil
+	e.onAcksDone = nil
+	e.needUnblock = false
+	e.needData = false
+	e.recallDone = nil
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		d.begin(e, next)
+	}
+}
+
+// maybeFinish completes the transaction once every outstanding response
+// (unblock, owner writeback) has arrived.
+func (d *Directory) maybeFinish(e *dirLine) {
+	if !e.needUnblock && !e.needData {
+		d.finish(e)
+	}
+}
+
+// withData ensures the block's data is in the L2 bank (fetching from DRAM
+// if needed, evicting a victim line first when the bank is full), then runs
+// k after the access latency.
+func (d *Directory) withData(e *dirLine, a mem.Addr, k func()) {
+	if e.hasData {
+		d.meter.L2Access()
+		d.st.L2Accesses++
+		d.eng.After(d.cfg.L2Latency, k)
+		return
+	}
+	d.ensureSpace(a, func() {
+		d.dram.ReadBlock(a, d.cfg.BlockSize, func(data []byte) {
+			e.data = data
+			e.hasData = true
+			d.resident = append(d.resident, a)
+			d.meter.L2Access() // fill write
+			d.st.L2Accesses++
+			k()
+		})
+	})
+}
+
+// occupancy returns the number of lines holding L2 data.
+func (d *Directory) occupancy() int {
+	n := 0
+	for _, a := range d.resident {
+		if e := d.lines[a]; e != nil && e.hasData {
+			n++
+		}
+	}
+	return n
+}
+
+// ensureSpace evicts one victim line if the bank is at capacity, then runs
+// k. Victims with cached copies are recalled first: sharers are
+// invalidated, an owner surrenders its (possibly dirty) data. Victims that
+// are busy (mid-transaction) are skipped; if nothing is evictable the bank
+// briefly overflows rather than deadlocking.
+func (d *Directory) ensureSpace(requesting mem.Addr, k func()) {
+	if d.cfg.CapacityBlocks <= 0 {
+		k()
+		return
+	}
+	// Compact the resident list lazily (lines whose data was dropped).
+	live := d.resident[:0]
+	for _, a := range d.resident {
+		if e := d.lines[a]; e != nil && e.hasData {
+			live = append(live, a)
+		}
+	}
+	d.resident = live
+	if len(d.resident) < d.cfg.CapacityBlocks {
+		k()
+		return
+	}
+	for tries := 0; tries < len(d.resident); tries++ {
+		d.clock = (d.clock + 1) % len(d.resident)
+		va := d.resident[d.clock]
+		v := d.lines[va]
+		if va == requesting || v == nil || !v.hasData || v.busy {
+			continue
+		}
+		d.evictLine(va, v, k)
+		return
+	}
+	// Every candidate is busy: allow a transient overflow.
+	k()
+}
+
+// evictLine recalls all cached copies of the victim, writes its data back
+// to DRAM, drops it from the bank, and then runs k.
+func (d *Directory) evictLine(va mem.Addr, v *dirLine, k func()) {
+	v.busy = true
+	d.st.L2Recalls++
+	finish := func(data []byte) {
+		d.dram.WriteBlock(va, data, nil)
+		v.hasData = false
+		v.data = nil
+		v.state = dirInvalid
+		v.owner = -1
+		v.sharers = 0
+		d.finish(v) // unbusy and restart anything queued on the victim
+		k()
+	}
+	switch v.state {
+	case dirInvalid:
+		finish(v.data)
+	case dirShared:
+		sharers := v.sharers
+		v.pendingAck = bits.OnesCount32(sharers)
+		data := v.data
+		v.onAcksDone = func() { finish(data) }
+		for id := 0; sharers != 0; id++ {
+			if sharers&1 != 0 {
+				d.sendCtl(id, Inv, va, -1)
+			}
+			sharers >>= 1
+		}
+	case dirOwned:
+		// The owner's copy is authoritative; RecallData completes the
+		// eviction (handled in handleRecallData via the line's cur).
+		v.cur = &Msg{Type: RecallOwn, Addr: va}
+		v.onAcksDone = nil
+		d.sendCtl(v.owner, RecallOwn, va, -1)
+		v.recallDone = func(data []byte) { finish(data) }
+	}
+}
+
+// replyData sends a data grant to an L1 from the L2 copy.
+func (d *Directory) replyData(l1 int, t MsgType, e *dirLine, a mem.Addr) {
+	if !e.hasData {
+		panic(fmt.Sprintf("dir %d: data grant without data for %#x", d.id, a))
+	}
+	d.send(noc.NodeID(l1), &Msg{
+		Type: t, Addr: a, From: d.id, Requestor: l1,
+		Data: append([]byte(nil), e.data...),
+	})
+}
+
+func bit(id int) uint32 { return 1 << uint(id) }
+
+func (d *Directory) handleGETS(e *dirLine, m *Msg) {
+	a := m.Addr
+	switch e.state {
+	case dirInvalid:
+		// No copies: grant Exclusive (the MESI optimization), or Shared
+		// under the MSI base protocol.
+		d.withData(e, a, func() {
+			if d.cfg.NoExclusive {
+				d.replyData(m.From, DataS, e, a)
+				e.state = dirShared
+				e.sharers = bit(m.From)
+			} else {
+				d.replyData(m.From, DataE, e, a)
+				e.state = dirOwned
+				e.owner = m.From
+			}
+			e.needUnblock = true
+		})
+	case dirShared:
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataS, e, a)
+			e.sharers |= bit(m.From)
+			e.needUnblock = true
+		})
+	case dirOwned:
+		if e.owner == m.From {
+			panic(fmt.Sprintf("dir %d: owner GETS for %#x", d.id, a))
+		}
+		if d.cfg.MigratoryOpt && e.migratory {
+			// Migratory block: hand the reader ownership directly (the
+			// write is coming); the old owner invalidates instead of
+			// downgrading, and the follow-up UPGRADE never happens.
+			e.lastReader = m.From
+			oldOwner := e.owner
+			e.owner = m.From
+			e.needUnblock = true
+			d.sendCtl(oldOwner, FwdGETX, a, m.From)
+			return
+		}
+		// Ask the owner to forward data and downgrade; the transaction
+		// completes when both the owner's writeback and the requestor's
+		// unblock arrive.
+		e.lastReader = m.From
+		e.needData = true
+		e.needUnblock = true
+		d.sendCtl(e.owner, FwdGETS, a, m.From)
+	}
+}
+
+// noteWrite feeds the migratory detector on a write-permission request: a
+// write by the core that opened the current read generation extends the
+// migratory streak; two streaks classify the block. A write by a different
+// core (or a generation with multiple readers) resets the detector.
+func (d *Directory) noteWrite(e *dirLine, writer int) {
+	if !d.cfg.MigratoryOpt {
+		return
+	}
+	if writer == e.lastReader && bits.OnesCount32(e.sharers) <= 2 {
+		e.generations++
+		if e.generations >= 2 {
+			e.migratory = true
+		}
+		return
+	}
+	if writer != e.lastReader {
+		e.generations = 0
+		e.migratory = false
+	}
+}
+
+// handleGETX serves GETX and UPGRADE. An UPGRADE from a cache that has
+// since been invalidated (a raced, stale upgrade) is promoted to a GETX and
+// answered with data.
+func (d *Directory) handleGETX(e *dirLine, m *Msg) {
+	a := m.Addr
+	d.noteWrite(e, m.From)
+	switch e.state {
+	case dirInvalid:
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataM, e, a)
+			e.state = dirOwned
+			e.owner = m.From
+			e.needUnblock = true
+		})
+	case dirShared:
+		upgradeValid := m.Type == UPGRADE && e.sharers&bit(m.From) != 0
+		others := e.sharers &^ bit(m.From)
+		grant := func() {
+			if upgradeValid {
+				d.sendCtl(m.From, UpgAck, a, m.From)
+			} else {
+				d.replyData(m.From, DataM, e, a)
+			}
+			e.state = dirOwned
+			e.owner = m.From
+			e.sharers = 0
+			e.needUnblock = true
+		}
+		if others == 0 {
+			grant()
+			return
+		}
+		// Invalidate every other sharer and collect acks before granting.
+		e.pendingAck = bits.OnesCount32(others)
+		e.onAcksDone = grant
+		for id := 0; others != 0; id++ {
+			if others&1 != 0 {
+				d.sendCtl(id, Inv, a, m.From)
+			}
+			others >>= 1
+		}
+	case dirOwned:
+		if e.owner == m.From {
+			panic(fmt.Sprintf("dir %d: owner GETX for %#x", d.id, a))
+		}
+		// Forward to the old owner; ownership moves to the requestor,
+		// whose unblock completes the transaction.
+		oldOwner := e.owner
+		e.owner = m.From
+		e.needUnblock = true
+		d.sendCtl(oldOwner, FwdGETX, a, m.From)
+	}
+}
+
+func (d *Directory) handlePUT(e *dirLine, m *Msg) {
+	a := m.Addr
+	switch m.Type {
+	case PUTS:
+		if e.state == dirShared && e.sharers&bit(m.From) != 0 {
+			e.sharers &^= bit(m.From)
+			if e.sharers == 0 {
+				e.state = dirInvalid
+			}
+		} // else stale: the copy was already invalidated or reclaimed.
+	case PUTM:
+		switch {
+		case e.state == dirOwned && e.owner == m.From:
+			// Dirty writeback into the L2 bank.
+			e.data = append(e.data[:0], m.Data...)
+			e.hasData = true
+			d.meter.L2Access()
+			d.st.L2Accesses++
+			e.state = dirInvalid
+			e.owner = -1
+		case e.state == dirShared && e.sharers&bit(m.From) != 0:
+			// The evictor was downgraded by a FwdGETS mid-eviction; its
+			// data already reached L2 via DataToDir. Just drop the sharer.
+			e.sharers &^= bit(m.From)
+			if e.sharers == 0 {
+				e.state = dirInvalid
+			}
+		} // else stale: ownership already moved on; discard the data.
+	case PUTE:
+		switch {
+		case e.state == dirOwned && e.owner == m.From:
+			e.state = dirInvalid
+			e.owner = -1
+		case e.state == dirShared && e.sharers&bit(m.From) != 0:
+			e.sharers &^= bit(m.From)
+			if e.sharers == 0 {
+				e.state = dirInvalid
+			}
+		}
+	}
+	d.sendCtl(m.From, PutAck, a, m.From)
+	d.finish(e)
+}
+
+func (d *Directory) handleInvAck(e *dirLine, m *Msg) {
+	if !e.busy || e.pendingAck <= 0 {
+		panic(fmt.Sprintf("dir %d: stray InvAck for %#x", d.id, m.Addr))
+	}
+	e.pendingAck--
+	if e.pendingAck == 0 {
+		done := e.onAcksDone
+		e.onAcksDone = nil
+		done()
+	}
+}
+
+func (d *Directory) handleDataToDir(e *dirLine, m *Msg) {
+	if !e.busy || e.cur == nil || e.cur.Type != GETS {
+		panic(fmt.Sprintf("dir %d: stray DataToDir for %#x", d.id, m.Addr))
+	}
+	// Owner downgrade on FwdGETS: the block becomes Shared by the old
+	// owner and the requestor; L2 is refreshed with the owner's data.
+	e.data = append(e.data[:0], m.Data...)
+	e.hasData = true
+	d.meter.L2Access()
+	d.st.L2Accesses++
+	e.state = dirShared
+	e.sharers = bit(m.From) | bit(e.cur.From)
+	e.owner = -1
+	e.needData = false
+	d.maybeFinish(e)
+}
+
+// handleRecallData completes an L2-capacity recall: the owner surrendered
+// its (authoritative) copy.
+func (d *Directory) handleRecallData(e *dirLine, m *Msg) {
+	if !e.busy || e.recallDone == nil {
+		panic(fmt.Sprintf("dir %d: stray RecallData for %#x", d.id, m.Addr))
+	}
+	done := e.recallDone
+	e.recallDone = nil
+	done(append([]byte(nil), m.Data...))
+}
+
+func (d *Directory) handleUnblock(e *dirLine, m *Msg) {
+	if !e.busy || !e.needUnblock {
+		panic(fmt.Sprintf("dir %d: stray Unblock for %#x", d.id, m.Addr))
+	}
+	e.needUnblock = false
+	d.maybeFinish(e)
+}

@@ -1,0 +1,743 @@
+package coherence
+
+import (
+	"fmt"
+
+	"ghostwriter/internal/approx"
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/energy"
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/noc"
+	"ghostwriter/internal/sim"
+	"ghostwriter/internal/stats"
+)
+
+// OpKind is the flavour of a core memory operation.
+type OpKind uint8
+
+// Core operation kinds. OpScribble is the paper's approximate store ISA
+// extension; under the baseline protocol (or outside an enabled approximate
+// region) it executes as a conventional store. OpAtomicAdd is a fetch-add
+// synchronization primitive: it always uses the conventional protocol
+// (synchronization data must never be approximated, §3.1) and completes
+// with the value read.
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpScribble
+	OpAtomicAdd
+)
+
+// CoreOp is one in-order core memory operation presented to the L1. The
+// core is blocking: it has at most one CoreOp outstanding.
+type CoreOp struct {
+	Kind  OpKind
+	Addr  mem.Addr
+	Width int    // access width in bytes: 1, 2, 4, or 8
+	Value uint64 // store value (ignored for loads)
+	// DDist is the resolved d-distance for a scribble (< 0 means the
+	// address is not inside an enabled approximate region and the scribble
+	// must execute as a conventional store).
+	DDist int
+	// Done is invoked at the completion cycle with the load value (stores
+	// complete with the stored value).
+	Done func(value uint64)
+}
+
+// ScribblePolicy selects how scribbles behave on a block already resident
+// in an approximate state.
+type ScribblePolicy uint8
+
+// Scribble policies.
+const (
+	// PolicyHybrid is the default and our best-fit reading of the paper:
+	// scribbles on a GS block keep running the scribe comparison and a
+	// dissimilar value falls back to the conventional mechanism (an
+	// UPGRADE that publishes the locally accumulated block as the coherent
+	// M copy — §3.1's "otherwise falling back to the conventional
+	// coherence mechanisms"), while GI residency is disciplined purely by
+	// the periodic timeout, as §3.2 specifies. Without the GS fallback, a
+	// set of caches can absorb into an all-GS state that nothing ever
+	// publishes or invalidates — unbounded divergence that would
+	// contradict the paper's own Fig. 11 error numbers.
+	PolicyHybrid ScribblePolicy = iota
+	// PolicyResident is the literal Fig. 3 state diagram: the scribe gates
+	// only the *entry* into GS/GI; once resident, everything hits until an
+	// invalidation, eviction, or GI timeout ends the residency.
+	PolicyResident
+	// PolicyEscalate re-runs the scribe comparison on every scribble in
+	// both GS and GI, escalating dissimilar values to the conventional
+	// protocol. Tightest error bound, most traffic.
+	PolicyEscalate
+)
+
+// String names the policy.
+func (p ScribblePolicy) String() string {
+	switch p {
+	case PolicyResident:
+		return "resident"
+	case PolicyEscalate:
+		return "escalate"
+	}
+	return "hybrid"
+}
+
+// L1Config parametrizes an L1 controller.
+type L1Config struct {
+	Cache       cache.Config
+	HitLatency  sim.Cycle // Table 1: 2 cycles
+	GITimeout   sim.Cycle // Table 1: 1024 cycles; 0 disables the sweep
+	Ghostwriter bool      // enable GS/GI transitions (false = baseline MESI)
+	Policy      ScribblePolicy
+	// ErrorBound caps the hidden writes absorbed during one GS/GI
+	// residency (§3.5's error-bounding extension, after Rumba-style
+	// runtime monitors): when a block has absorbed ErrorBound writes, the
+	// next one escalates to the conventional protocol, publishing or
+	// refetching the block. 0 disables the monitor.
+	ErrorBound uint32
+	// AdaptiveGITimeout lets each controller tune its own sweep period at
+	// runtime (a §3.5/auto-tuning future-work extension): a sweep that
+	// discards many GI residencies halves the period (bounding the updates
+	// lost per residency), an empty sweep doubles it (recovering the
+	// traffic savings), within [GITimeout/8, 4*GITimeout].
+	AdaptiveGITimeout bool
+	// StaleLoads enables the Rengasamy-style load-side approximation the
+	// paper's §5 describes as the prior approximate-coherence work: inside
+	// an approximate region (setaprx active), a load to an Invalid block
+	// with its tag present returns the stale data immediately, without a
+	// GETS. Composable with the Ghostwriter store-side states.
+	StaleLoads bool
+	// ProfileSimilarity records the d-distance between every store's value
+	// and the value currently in the cache block, irrespective of
+	// coherence state (the Fig. 2 methodology).
+	ProfileSimilarity bool
+}
+
+// evictCtx tracks the single outstanding eviction transaction (the L1 is
+// blocking, so at most one exists).
+type evictCtx struct {
+	addr  mem.Addr
+	block *cache.Block
+	cont  func()
+}
+
+// L1 is one private L1 data cache controller with its core-facing port and
+// network-facing protocol engine. The paper keeps all Ghostwriter changes
+// local to the L1 level; so does this implementation.
+type L1 struct {
+	id    int
+	node  noc.NodeID
+	eng   *sim.Engine
+	net   *noc.Network
+	meter *energy.Meter
+	st    *stats.Stats
+	arr   *cache.Cache
+	cfg   L1Config
+	home  func(mem.Addr) noc.NodeID
+
+	cur                *CoreOp
+	invAfterFill       bool
+	upgradeInvalidated bool
+	pendingFwd         *Msg
+	ev                 *evictCtx
+	stopped            bool
+	curTimeout         sim.Cycle
+}
+
+// NewL1 builds an L1 controller. The L1's id doubles as its NoC node id.
+// home maps a block address to its directory's node.
+func NewL1(id int, eng *sim.Engine, net *noc.Network, cfg L1Config,
+	home func(mem.Addr) noc.NodeID, meter *energy.Meter, st *stats.Stats) *L1 {
+	l := &L1{
+		id:    id,
+		node:  noc.NodeID(id),
+		eng:   eng,
+		net:   net,
+		meter: meter,
+		st:    st,
+		arr:   cache.New(cfg.Cache),
+		cfg:   cfg,
+		home:  home,
+	}
+	l.stopped = true
+	l.curTimeout = cfg.GITimeout
+	return l
+}
+
+// CurrentGITimeout returns the controller's (possibly adapted) sweep period.
+func (l *L1) CurrentGITimeout() sim.Cycle { return l.curTimeout }
+
+// StartSweep arms the periodic GI timeout (a no-op for baseline configs).
+// The machine arms it at the start of a run and stops it at the end so the
+// event queue can drain.
+func (l *L1) StartSweep() {
+	if !l.cfg.Ghostwriter || l.cfg.GITimeout == 0 || !l.stopped {
+		return
+	}
+	l.stopped = false
+	l.eng.After(l.curTimeout, l.giSweep)
+}
+
+// Stop halts the periodic GI sweep so the event queue can drain after a run.
+func (l *L1) Stop() { l.stopped = true }
+
+// Array exposes the underlying cache array (used by the coherent-view
+// reader and the invariant checker).
+func (l *L1) Array() *cache.Cache { return l.arr }
+
+// ID returns the controller's id.
+func (l *L1) ID() int { return l.id }
+
+// Busy reports whether a core operation is outstanding.
+func (l *L1) Busy() bool { return l.cur != nil || l.ev != nil }
+
+// giSweep implements the periodic GI timeout: every GITimeout cycles all GI
+// blocks revert to I, forfeiting their hidden updates (§3.2). The tag and
+// the (now once again merely stale) data stay in the frame.
+func (l *L1) giSweep() {
+	if l.stopped {
+		return
+	}
+	swept := 0
+	l.arr.ForEach(func(si int, b *cache.Block) {
+		if b.State == cache.GI {
+			b.State = cache.Invalid
+			l.st.GITimeouts++
+			swept++
+		}
+	})
+	if l.cfg.AdaptiveGITimeout {
+		switch {
+		case swept >= 2 && l.curTimeout > l.cfg.GITimeout/8:
+			// Many residencies discarded at once: bound per-residency loss
+			// by sweeping more often.
+			l.curTimeout /= 2
+		case swept == 0 && l.curTimeout < 4*l.cfg.GITimeout:
+			// Nothing hidden: back off to recover traffic savings.
+			l.curTimeout *= 2
+		}
+		if l.curTimeout < 1 {
+			l.curTimeout = 1
+		}
+	}
+	l.eng.After(l.curTimeout, l.giSweep)
+}
+
+// Access presents one core operation. The L1 must be idle.
+func (l *L1) Access(op *CoreOp) {
+	if l.Busy() {
+		panic(fmt.Sprintf("l1 %d: Access while busy", l.id))
+	}
+	l.cur = op
+	l.st.L1Accesses++
+	b := l.arr.Lookup(op.Addr)
+	switch op.Kind {
+	case OpLoad:
+		l.st.Loads++
+		l.load(op, b)
+		return
+	case OpStore, OpAtomicAdd:
+		l.st.Stores++
+	case OpScribble:
+		l.st.Scribbles++
+	}
+	if l.cfg.ProfileSimilarity && b != nil {
+		old := b.ReadWord(l.arr.Offset(op.Addr), op.Width)
+		l.st.RecordDistance(approx.Distance(old, op.Value, approx.Width(op.Width*8)))
+	}
+	if op.Kind == OpScribble && l.cfg.Ghostwriter && op.DDist >= 0 {
+		l.scribble(op, b)
+		return
+	}
+	l.store(op, b)
+}
+
+// complete finishes the current core operation after lat cycles.
+func (l *L1) complete(lat sim.Cycle, value uint64) {
+	op := l.cur
+	l.cur = nil
+	l.eng.After(lat, func() { op.Done(value) })
+}
+
+// send injects a coherence message, charging traffic accounting.
+func (l *L1) send(dst noc.NodeID, m *Msg) {
+	l.st.AddMsg(m.Type.Class())
+	size := 0
+	if m.Type.CarriesData() {
+		size = l.cfg.Cache.BlockSize
+	}
+	l.net.Send(l.node, dst, size, m)
+}
+
+// sendReq sends a request for the current op's block to its home directory.
+func (l *L1) sendReq(t MsgType, a mem.Addr) {
+	base := l.arr.BlockBase(a)
+	l.send(l.home(base), &Msg{Type: t, Addr: base, From: l.id, ToDir: true})
+}
+
+// load services a core load.
+func (l *L1) load(op *CoreOp, b *cache.Block) {
+	if b != nil && b.State.ReadableLocally() {
+		// Hit. Loads on GS/GI read the locally (possibly divergently)
+		// modified data: approximate execution.
+		l.st.L1LoadHits++
+		l.meter.L1Read()
+		l.arr.Touch(op.Addr)
+		l.complete(l.cfg.HitLatency, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
+		return
+	}
+	if l.cfg.StaleLoads && b != nil && b.State == cache.Invalid && op.DDist >= 0 {
+		// Rengasamy-style stale-load approximation: execute on the
+		// invalidated copy rather than waiting for coherent data.
+		l.st.L1LoadHits++
+		l.st.StaleLoadHits++
+		l.meter.L1Read()
+		l.arr.Touch(op.Addr)
+		l.complete(l.cfg.HitLatency, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
+		return
+	}
+	l.st.L1LoadMisses++
+	l.meter.L1Tag()
+	if b != nil {
+		// Tag present but Invalid: a coherence miss; reuse the frame.
+		b.State = cache.ISD
+		l.sendReq(GETS, op.Addr)
+		return
+	}
+	l.allocFrame(op.Addr, cache.ISD, func() { l.sendReq(GETS, op.Addr) })
+}
+
+// store services a conventional store (also the scribble fallback path).
+func (l *L1) store(op *CoreOp, b *cache.Block) {
+	if b == nil {
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		l.allocFrame(op.Addr, cache.IMD, func() { l.sendReq(GETX, op.Addr) })
+		return
+	}
+	switch b.State {
+	case cache.Modified:
+		l.writeHit(op, b)
+	case cache.Exclusive:
+		b.State = cache.Modified
+		l.writeHit(op, b)
+	case cache.GS:
+		// §3.2: while the controller is in approximate mode (setaprx
+		// active, op.DDist >= 0), blocks in GS/GI have full local write
+		// permission, so even conventional stores hit and stay hidden; in
+		// the baseline protocol this store would have missed on a
+		// read-only block, so it counts as serviced by GS (Fig. 7a).
+		// After endaprx the controller reverts GS/GI handling to the
+		// conventional protocol: the store escalates to an UPGRADE, which
+		// publishes the block's locally accumulated data — this is what
+		// makes post-region result handoffs (Listing 3's approx_end
+		// epilogue) coherent.
+		if op.Kind != OpAtomicAdd && op.DDist >= 0 && !l.boundExceeded(b) {
+			l.st.StoresOnS++
+			l.st.ServicedByGS++
+			l.writeHit(op, b)
+			return
+		}
+		l.st.StoresOnS++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		l.upgradeInvalidated = false
+		b.State = cache.SMA
+		l.sendReq(UPGRADE, op.Addr)
+	case cache.GI:
+		// Likewise the Fig. 7b metric; the post-region escalation is a
+		// GETX whose grant replaces the divergent copy before the store.
+		if op.Kind != OpAtomicAdd && op.DDist >= 0 && !l.boundExceeded(b) {
+			l.st.StoresOnI++
+			l.st.ServicedByGI++
+			l.writeHit(op, b)
+			return
+		}
+		l.st.StoresOnI++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		b.State = cache.IMD
+		l.sendReq(GETX, op.Addr)
+	case cache.Shared:
+		l.st.StoresOnS++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		l.upgradeInvalidated = false
+		b.State = cache.SMA
+		l.sendReq(UPGRADE, op.Addr)
+	case cache.Invalid:
+		l.st.StoresOnI++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		b.State = cache.IMD
+		l.sendReq(GETX, op.Addr)
+	default:
+		panic(fmt.Sprintf("l1 %d: store in state %v", l.id, b.State))
+	}
+}
+
+// scribble services an approximate store per Fig. 3: the scribe comparator
+// decides whether the new value is d-distance similar to the block's
+// current (possibly stale) word; if so, the write completes locally in GS
+// or GI, otherwise it falls back to the conventional protocol.
+func (l *L1) scribble(op *CoreOp, b *cache.Block) {
+	if b == nil {
+		// No tag: nothing to compare against; conventional miss.
+		l.store(op, b)
+		return
+	}
+	within := func() bool {
+		l.meter.Scribe()
+		old := b.ReadWord(l.arr.Offset(op.Addr), op.Width)
+		return approx.Within(old, op.Value, approx.Width(op.Width*8), op.DDist)
+	}
+	switch b.State {
+	case cache.Modified, cache.Exclusive:
+		// Coherently owned; behaves like a store, no comparison needed.
+		l.store(op, b)
+	case cache.Shared:
+		if within() {
+			l.st.StoresOnS++
+			l.st.ServicedByGS++
+			l.st.GSEntries++
+			b.State = cache.GS
+			b.Hidden = 1
+			l.writeHit(op, b)
+			return
+		}
+		l.st.ScribbleFallbacks++
+		l.store(op, b)
+	case cache.GS:
+		// Fig. 3 residency (PolicyResident): the block already has hidden
+		// write permission, so the scribble hits — in the baseline this
+		// store would have missed on a read-only block, so it counts as
+		// serviced (Fig. 7a). Under PolicyEscalate the scribe re-compares,
+		// and a dissimilar value falls back to an UPGRADE that, once
+		// granted, publishes the locally accumulated block as the coherent
+		// M copy, bounding divergence drift.
+		if (l.cfg.Policy == PolicyResident || within()) && !l.boundExceeded(b) {
+			l.st.StoresOnS++
+			l.st.ServicedByGS++
+			l.writeHit(op, b)
+			return
+		} // dissimilar (or over the drift bound): escalate below
+		l.st.ScribbleFallbacks++
+		l.st.StoresOnS++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		l.upgradeInvalidated = false
+		b.State = cache.SMA
+		l.sendReq(UPGRADE, op.Addr)
+	case cache.GI:
+		// Same for GI (Fig. 7b); the PolicyEscalate fallback is a GETX
+		// whose data grant overwrites the divergent local copy with the
+		// coherent one before applying the store.
+		if (l.cfg.Policy != PolicyEscalate || within()) && !l.boundExceeded(b) {
+			l.st.StoresOnI++
+			l.st.ServicedByGI++
+			l.writeHit(op, b)
+			return
+		}
+		l.st.ScribbleFallbacks++
+		l.st.StoresOnI++
+		l.st.L1StoreMisses++
+		l.meter.L1Tag()
+		b.State = cache.IMD
+		l.sendReq(GETX, op.Addr)
+	case cache.Invalid:
+		if within() {
+			l.st.StoresOnI++
+			l.st.ServicedByGI++
+			l.st.GIEntries++
+			b.State = cache.GI
+			b.Hidden = 1
+			l.writeHit(op, b)
+			return
+		}
+		l.st.ScribbleFallbacks++
+		l.store(op, b)
+	default:
+		panic(fmt.Sprintf("l1 %d: scribble in state %v", l.id, b.State))
+	}
+}
+
+// boundExceeded applies the §3.5 drift monitor: it counts one more hidden
+// write against the block's current approximate residency and reports
+// whether the configured bound rejects it.
+func (l *L1) boundExceeded(b *cache.Block) bool {
+	if l.cfg.ErrorBound == 0 {
+		return false
+	}
+	if b.Hidden >= l.cfg.ErrorBound {
+		l.st.BoundEscalations++
+		return true
+	}
+	b.Hidden++
+	return false
+}
+
+// applyWrite performs the op's data update on the block and returns the
+// op's completion value (the stored value, or the old value for a
+// fetch-add).
+func (l *L1) applyWrite(op *CoreOp, b *cache.Block) uint64 {
+	off := l.arr.Offset(op.Addr)
+	if op.Kind == OpAtomicAdd {
+		old := b.ReadWord(off, op.Width)
+		b.WriteWord(off, op.Width, old+op.Value)
+		return old
+	}
+	b.WriteWord(off, op.Width, op.Value)
+	return op.Value
+}
+
+// writeHit applies a store that has (or needs no) write permission.
+func (l *L1) writeHit(op *CoreOp, b *cache.Block) {
+	l.st.L1StoreHits++
+	l.meter.L1Write()
+	v := l.applyWrite(op, b)
+	l.arr.Touch(op.Addr)
+	l.complete(l.cfg.HitLatency, v)
+}
+
+// allocFrame obtains a frame for addr, running the eviction transaction for
+// a dirty/tracked victim first, then installs the tag in newState and calls
+// then (which sends the actual request).
+func (l *L1) allocFrame(addr mem.Addr, newState cache.State, then func()) {
+	v := l.arr.VictimWay(addr)
+	install := func() {
+		l.arr.Evict(v)
+		l.arr.Install(v, addr, newState, nil)
+		then()
+	}
+	if !v.Valid || v.State == cache.Invalid || v.State == cache.GI {
+		// Empty frame, an invalid block (the directory does not track it),
+		// or a GI block (also untracked; its hidden updates are forfeited,
+		// §3.5): silent eviction.
+		install()
+		return
+	}
+	vaddr := l.arr.AddrOf(l.arr.SetIndex(addr), v)
+	prior := v.State
+	v.State = cache.EVA
+	l.ev = &evictCtx{addr: vaddr, block: v, cont: install}
+	m := &Msg{Addr: vaddr, From: l.id, ToDir: true}
+	switch prior {
+	case cache.Modified:
+		m.Type = PUTM
+		m.Data = append([]byte(nil), v.Data...)
+	case cache.Exclusive:
+		m.Type = PUTE
+	case cache.Shared:
+		m.Type = PUTS
+	case cache.GS:
+		// Still on the sharer list; hidden updates are forfeited (§3.5).
+		m.Type = PUTS
+	default:
+		panic(fmt.Sprintf("l1 %d: evicting state %v", l.id, prior))
+	}
+	l.send(l.home(vaddr), m)
+}
+
+// HandleMsg processes one network message addressed to this L1.
+func (l *L1) HandleMsg(m *Msg) {
+	switch m.Type {
+	case Inv:
+		l.handleInv(m)
+	case RecallOwn:
+		l.handleRecall(m)
+	case FwdGETS, FwdGETX:
+		l.handleFwd(m)
+	case DataS, DataE, DataM, DataC2C:
+		l.handleFill(m)
+	case UpgAck:
+		l.handleUpgAck(m)
+	case PutAck:
+		l.handlePutAck(m)
+	default:
+		panic(fmt.Sprintf("l1 %d: unexpected message %v", l.id, m.Type))
+	}
+}
+
+func (l *L1) handleInv(m *Msg) {
+	b := l.arr.Lookup(m.Addr)
+	if b == nil {
+		panic(fmt.Sprintf("l1 %d: Inv for absent block %#x", l.id, m.Addr))
+	}
+	switch b.State {
+	case cache.Shared:
+		b.State = cache.Invalid
+	case cache.GS:
+		// A remote conventional store reclaims the block: the hidden
+		// updates are lost, returning the block to system-wide coherency.
+		b.State = cache.Invalid
+		l.st.GSInvalidations++
+	case cache.SMA:
+		// Our UPGRADE raced with this invalidating transaction; the
+		// directory will answer our (now stale) UPGRADE with data.
+		l.upgradeInvalidated = true
+	case cache.ISD:
+		// Our GETS was granted (we are on the sharer list) but the data is
+		// still in flight from a remote owner; the fill will complete the
+		// load with the granted value and then drop to Invalid.
+		l.invAfterFill = true
+	case cache.EVA:
+		// Mid-eviction of an S/GS copy; just acknowledge.
+	default:
+		panic(fmt.Sprintf("l1 %d: Inv in state %v", l.id, b.State))
+	}
+	l.send(l.home(m.Addr), &Msg{Type: InvAck, Addr: m.Addr, From: l.id, ToDir: true})
+}
+
+// handleRecall surrenders an owned block so the L2 home can evict its line
+// (inclusive-hierarchy recall). The tag is kept, per the paper's I-state
+// convention.
+func (l *L1) handleRecall(m *Msg) {
+	b := l.arr.Lookup(m.Addr)
+	if b == nil {
+		panic(fmt.Sprintf("l1 %d: RecallOwn for absent block %#x", l.id, m.Addr))
+	}
+	switch b.State {
+	case cache.Modified, cache.Exclusive:
+		b.State = cache.Invalid
+	case cache.EVA:
+		// Mid-eviction: surrender the held data; the in-flight PUT will be
+		// stale-acked.
+	default:
+		panic(fmt.Sprintf("l1 %d: RecallOwn in state %v", l.id, b.State))
+	}
+	l.meter.L1Read()
+	l.send(l.home(m.Addr), &Msg{
+		Type: RecallData, Addr: m.Addr, From: l.id, ToDir: true,
+		Data: append([]byte(nil), b.Data...),
+	})
+}
+
+func (l *L1) handleFwd(m *Msg) {
+	b := l.arr.Lookup(m.Addr)
+	if b == nil {
+		panic(fmt.Sprintf("l1 %d: %v for absent block %#x", l.id, m.Type, m.Addr))
+	}
+	switch b.State {
+	case cache.Modified, cache.Exclusive, cache.EVA:
+		l.serveFwd(m, b)
+	case cache.IMD, cache.SMA:
+		// We have just been made owner but our data grant is still in
+		// flight; defer until the fill completes. The directory is busy on
+		// this block until we respond, so at most one forward can stack.
+		if l.pendingFwd != nil {
+			panic(fmt.Sprintf("l1 %d: second pending forward", l.id))
+		}
+		l.pendingFwd = m
+	default:
+		panic(fmt.Sprintf("l1 %d: %v in state %v", l.id, m.Type, b.State))
+	}
+}
+
+// serveFwd answers a forwarded request from our owned copy: data goes
+// cache-to-cache to the requestor, plus the protocol's completion message
+// to the directory.
+func (l *L1) serveFwd(m *Msg, b *cache.Block) {
+	data := append([]byte(nil), b.Data...)
+	l.meter.L1Read()
+	if m.Type == FwdGETS {
+		l.send(noc.NodeID(m.Requestor), &Msg{
+			Type: DataC2C, Addr: m.Addr, From: l.id, Requestor: m.Requestor,
+			Grant: GrantS, Data: data,
+		})
+		l.send(l.home(m.Addr), &Msg{Type: DataToDir, Addr: m.Addr, From: l.id, ToDir: true, Data: data})
+		if b.State != cache.EVA {
+			b.State = cache.Shared
+		}
+		return
+	}
+	l.send(noc.NodeID(m.Requestor), &Msg{
+		Type: DataC2C, Addr: m.Addr, From: l.id, Requestor: m.Requestor,
+		Grant: GrantM, Data: data,
+	})
+	if b.State != cache.EVA {
+		b.State = cache.Invalid
+	}
+}
+
+// handleFill processes a data grant for the outstanding miss.
+func (l *L1) handleFill(m *Msg) {
+	b := l.arr.Lookup(m.Addr)
+	if b == nil || l.cur == nil {
+		panic(fmt.Sprintf("l1 %d: stray fill %v for %#x", l.id, m.Type, m.Addr))
+	}
+	op := l.cur
+	copy(b.Data, m.Data)
+	l.meter.L1Write()
+	switch b.State {
+	case cache.ISD:
+		switch {
+		case m.Type == DataS || (m.Type == DataC2C && m.Grant == GrantS):
+			b.State = cache.Shared
+		case m.Type == DataE:
+			b.State = cache.Exclusive
+		case m.Type == DataC2C && m.Grant == GrantM:
+			// The migratory optimization granted a read request full
+			// ownership (the directory predicts the write).
+			b.State = cache.Modified
+		default:
+			panic(fmt.Sprintf("l1 %d: fill %v/grant %d in IS_D", l.id, m.Type, m.Grant))
+		}
+		if l.invAfterFill {
+			// The block was invalidated between grant and fill; the load
+			// still completes with the granted (then-coherent) value.
+			b.State = cache.Invalid
+			l.invAfterFill = false
+		}
+		l.arr.Touch(m.Addr)
+		l.sendUnblock(m.Addr)
+		l.complete(1, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
+	case cache.IMD, cache.SMA:
+		if m.Type != DataM && !(m.Type == DataC2C && m.Grant == GrantM) {
+			panic(fmt.Sprintf("l1 %d: fill %v/grant %d in %v", l.id, m.Type, m.Grant, b.State))
+		}
+		b.State = cache.Modified
+		v := l.applyWrite(op, b)
+		l.arr.Touch(m.Addr)
+		l.sendUnblock(m.Addr)
+		l.complete(1, v)
+		if l.pendingFwd != nil {
+			f := l.pendingFwd
+			l.pendingFwd = nil
+			l.serveFwd(f, b)
+		}
+	default:
+		panic(fmt.Sprintf("l1 %d: fill in state %v", l.id, b.State))
+	}
+}
+
+func (l *L1) handleUpgAck(m *Msg) {
+	b := l.arr.Lookup(m.Addr)
+	if b == nil || b.State != cache.SMA || l.cur == nil {
+		panic(fmt.Sprintf("l1 %d: stray UpgAck for %#x", l.id, m.Addr))
+	}
+	if l.upgradeInvalidated {
+		panic(fmt.Sprintf("l1 %d: UpgAck after invalidation", l.id))
+	}
+	op := l.cur
+	b.State = cache.Modified
+	v := l.applyWrite(op, b)
+	l.meter.L1Write()
+	l.arr.Touch(m.Addr)
+	l.sendUnblock(m.Addr)
+	l.complete(1, v)
+}
+
+// sendUnblock releases the home directory's per-block busy state after a
+// grant has been installed.
+func (l *L1) sendUnblock(a mem.Addr) {
+	l.send(l.home(a), &Msg{Type: Unblock, Addr: a, From: l.id, ToDir: true})
+}
+
+func (l *L1) handlePutAck(m *Msg) {
+	if l.ev == nil || l.ev.addr != m.Addr {
+		panic(fmt.Sprintf("l1 %d: stray PutAck for %#x", l.id, m.Addr))
+	}
+	cont := l.ev.cont
+	l.ev = nil
+	cont()
+}

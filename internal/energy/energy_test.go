@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Meter
+	if m.TotalPJ() != 0 {
+		t.Fatal("zero meter must read 0")
+	}
+}
+
+func TestComponentRouting(t *testing.T) {
+	var m Meter
+	m.L1Read()
+	m.L1Write()
+	m.L1Tag()
+	m.Scribe()
+	m.L2Access()
+	m.DirAccess()
+	m.DRAMAccess()
+	if m.NetworkPJ != 0 {
+		t.Error("memory events must not charge the network")
+	}
+	wantMem := L1ReadPJ + L1TagPJ + L1WritePJ + L1TagPJ + L1TagPJ +
+		ScribePJ + L2AccessPJ + DirAccessPJ + DRAMAccessPJ
+	if math.Abs(m.MemoryPJ-wantMem) > 1e-9 {
+		t.Errorf("memory = %v, want %v", m.MemoryPJ, wantMem)
+	}
+
+	var n Meter
+	n.RouterTraversal(5)
+	n.LinkTraversal(5)
+	if n.MemoryPJ != 0 {
+		t.Error("NoC events must not charge memory")
+	}
+	if want := 5*RouterFlitPJ + 5*LinkFlitPJ; math.Abs(n.NetworkPJ-want) > 1e-9 {
+		t.Errorf("network = %v, want %v", n.NetworkPJ, want)
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var a, b Meter
+	a.L2Access()
+	b.RouterTraversal(2)
+	a.Add(&b)
+	if a.MemoryPJ != L2AccessPJ || a.NetworkPJ != 2*RouterFlitPJ {
+		t.Fatalf("Add produced %+v", a)
+	}
+	if a.TotalPJ() != a.MemoryPJ+a.NetworkPJ {
+		t.Fatal("TotalPJ mismatch")
+	}
+}
+
+func TestCoefficientOrdering(t *testing.T) {
+	// Sanity: the hierarchy's energy ordering must hold (L1 < L2 < DRAM),
+	// as any CACTI-derived model would have it.
+	if !(L1ReadPJ < L2AccessPJ && L2AccessPJ < DRAMAccessPJ) {
+		t.Error("energy hierarchy ordering broken")
+	}
+	if ScribePJ >= L1ReadPJ {
+		t.Error("the scribe comparator must be cheap relative to an array access")
+	}
+}

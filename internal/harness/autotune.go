@@ -1,0 +1,34 @@
+package harness
+
+import "fmt"
+
+// autoTuneCandidates are the d-distances the tuner sweeps, in increasing
+// aggressiveness.
+var autoTuneCandidates = []int{1, 2, 3, 4, 6, 8, 10, 12}
+
+// AutoTune implements the §3.5 auto-tuning hook (after Green/SAGE-style
+// frameworks): it sweeps the d-distance and returns the most aggressive
+// setting whose output error stays within targetPct, together with every
+// profiled run. A returned d of 0 means no approximation level met the
+// target and the application should run on the baseline protocol.
+//
+// This is profile-guided tuning: the chosen d is only as good as the
+// profiling input's representativeness, exactly as the paper cautions.
+func AutoTune(name string, opt Options, targetPct float64) (int, []RunResult, error) {
+	if targetPct < 0 {
+		return 0, nil, fmt.Errorf("harness: negative error target %v", targetPct)
+	}
+	best := 0
+	var runs []RunResult
+	for _, d := range autoTuneCandidates {
+		r, err := RunApp(name, opt, d, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		runs = append(runs, r)
+		if r.ErrorPct <= targetPct {
+			best = d
+		}
+	}
+	return best, runs, nil
+}

@@ -1,0 +1,316 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	ghostwriter "ghostwriter"
+	"ghostwriter/internal/quality"
+	"ghostwriter/internal/stats"
+	"ghostwriter/internal/workloads"
+)
+
+// fig1Threads is the thread-count sweep of Fig. 1.
+var fig1Threads = []int{1, 2, 4, 8, 16, 24}
+
+// Fig1Point is one point of the Fig. 1 speedup curves.
+type Fig1Point struct {
+	Threads          int
+	NaiveSpeedup     float64 // Listing 1 vs its single-thread run
+	PrivatizedSpeed  float64 // Listing 2 vs its single-thread run
+	NaiveCycles      uint64
+	PrivatizedCycles uint64
+}
+
+// Fig1 reproduces Fig. 1: speedup of the naive (Listing 1) and privatized
+// (Listing 2) dot products vs thread count under baseline MESI.
+func Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
+	run := func(name string, threads int) (uint64, error) {
+		o := opt
+		o.Threads = threads
+		r, err := RunApp(name, o, 0, false)
+		return r.Cycles, err
+	}
+	var base [2]uint64
+	var err error
+	if base[0], err = run("bad_dot_product", 1); err != nil {
+		return nil, err
+	}
+	if base[1], err = run("priv_dot_product", 1); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Fig. 1 — dot-product speedup vs thread count (baseline MESI)\n")
+	fmt.Fprintf(w, "%8s %14s %14s\n", "threads", "naive", "privatized")
+	var out []Fig1Point
+	for _, n := range fig1Threads {
+		nc, err := run("bad_dot_product", n)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := run("priv_dot_product", n)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig1Point{
+			Threads:          n,
+			NaiveCycles:      nc,
+			PrivatizedCycles: pc,
+			NaiveSpeedup:     float64(base[0]) / float64(nc),
+			PrivatizedSpeed:  float64(base[1]) / float64(pc),
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%8d %13.2fx %13.2fx\n", n, p.NaiveSpeedup, p.PrivatizedSpeed)
+	}
+	return out, nil
+}
+
+// fig2Dists are the d-distance points reported for the Fig. 2 CDF.
+var fig2Dists = []int{0, 1, 2, 4, 8, 12, 16}
+
+// Fig2Row is one application's cumulative d-distance distribution.
+type Fig2Row struct {
+	App     string
+	Suite   string
+	CDF     map[int]float64 // d → fraction of stores within d-distance
+	Samples uint64
+}
+
+// Fig2 reproduces Fig. 2: the cumulative distribution of d-distances
+// between store values and the values they overwrite, per application,
+// measured on baseline runs with the similarity profiler enabled.
+func Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
+	fmt.Fprintf(w, "Fig. 2 — cumulative d-distance distribution of overwritten store values\n")
+	fmt.Fprintf(w, "%-18s %-8s", "app", "suite")
+	for _, d := range fig2Dists {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("≤%d", d))
+	}
+	fmt.Fprintln(w)
+	var out []Fig2Row
+	for _, f := range workloads.Suite() {
+		r, err := RunApp(f.Name, opt, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		cdf, n := r.Stats.DistCDF()
+		row := Fig2Row{App: f.Name, Suite: f.Suite, CDF: map[int]float64{}, Samples: n}
+		fmt.Fprintf(w, "%-18s %-8s", f.Name, f.Suite)
+		for _, d := range fig2Dists {
+			row.CDF[d] = cdf[d]
+			fmt.Fprintf(w, " %6.1f%%", cdf[d]*100)
+		}
+		fmt.Fprintln(w)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig7 reports the approximate-state utilization of Fig. 7: the share of
+// stores that would have missed on S (resp. I) serviced by GS (resp. GI),
+// at d-distance 4 and 8.
+func Fig7(w io.Writer, suite []SuiteResult) {
+	fmt.Fprintf(w, "Fig. 7 — stores serviced by approximate states\n")
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n", "app", "GS d=4", "GS d=8", "GI d=4", "GI d=8")
+	var gs4, gs8, gi4, gi8 float64
+	for _, s := range suite {
+		fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", s.App,
+			s.D4.GSFrac()*100, s.D8.GSFrac()*100, s.D4.GIFrac()*100, s.D8.GIFrac()*100)
+		gs4 += s.D4.GSFrac()
+		gs8 += s.D8.GSFrac()
+		gi4 += s.D4.GIFrac()
+		gi8 += s.D8.GIFrac()
+	}
+	n := float64(len(suite))
+	fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n", "Avg.",
+		gs4/n*100, gs8/n*100, gi4/n*100, gi8/n*100)
+}
+
+// Fig8 reports normalized coherence traffic by message class at d ∈
+// {0, 4, 8}, each application normalized to its baseline total.
+func Fig8(w io.Writer, suite []SuiteResult) {
+	fmt.Fprintf(w, "Fig. 8 — coherence traffic normalized to baseline MESI\n")
+	fmt.Fprintf(w, "%-18s %3s", "app", "d")
+	for _, c := range stats.MsgClasses() {
+		fmt.Fprintf(w, " %9s", c)
+	}
+	fmt.Fprintf(w, " %9s\n", "total")
+	for _, s := range suite {
+		baseTotal := float64(s.Base.Stats.TotalMsgs())
+		for _, r := range []*RunResult{&s.Base, &s.D4, &s.D8} {
+			fmt.Fprintf(w, "%-18s %3d", s.App, r.DDist)
+			for _, c := range stats.MsgClasses() {
+				fmt.Fprintf(w, " %9.3f", float64(r.Stats.Msgs[c])/baseTotal)
+			}
+			fmt.Fprintf(w, " %9.3f\n", float64(r.Stats.TotalMsgs())/baseTotal)
+		}
+	}
+}
+
+// Fig9 reports NoC + memory-hierarchy dynamic energy savings at d ∈ {4, 8}.
+func Fig9(w io.Writer, suite []SuiteResult) {
+	fmt.Fprintf(w, "Fig. 9 — dynamic energy saved vs baseline MESI\n")
+	fmt.Fprintf(w, "%-18s %12s %12s %14s %14s\n",
+		"app", "total d=4", "total d=8", "network d=4", "network d=8")
+	var t4, t8 float64
+	for _, s := range suite {
+		fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%% %13.1f%% %13.1f%%\n", s.App,
+			s.EnergySavedPct4, s.EnergySavedPct8, s.NetEnergySaved4Pct, s.NetEnergySaved8Pct)
+		t4 += s.EnergySavedPct4
+		t8 += s.EnergySavedPct8
+	}
+	n := float64(len(suite))
+	fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%%\n", "Avg.", t4/n, t8/n)
+}
+
+// Fig10 reports speedup at d ∈ {4, 8}.
+func Fig10(w io.Writer, suite []SuiteResult) {
+	fmt.Fprintf(w, "Fig. 10 — speedup vs baseline MESI\n")
+	fmt.Fprintf(w, "%-18s %12s %12s\n", "app", "d=4", "d=8")
+	var t4, t8 float64
+	for _, s := range suite {
+		fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%%\n", s.App, s.SpeedupPct4, s.SpeedupPct8)
+		t4 += s.SpeedupPct4
+		t8 += s.SpeedupPct8
+	}
+	n := float64(len(suite))
+	fmt.Fprintf(w, "%-18s %11.1f%% %11.1f%%\n", "Avg.", t4/n, t8/n)
+}
+
+// Fig11 reports output error at d ∈ {4, 8}.
+func Fig11(w io.Writer, suite []SuiteResult) {
+	fmt.Fprintf(w, "Fig. 11 — output error (Table 2 metric per application)\n")
+	fmt.Fprintf(w, "%-18s %-7s %12s %12s\n", "app", "metric", "d=4", "d=8")
+	var t4, t8 float64
+	for _, s := range suite {
+		fmt.Fprintf(w, "%-18s %-7s %11.4f%% %11.4f%%\n",
+			s.App, s.Base.Metric, s.D4.ErrorPct, s.D8.ErrorPct)
+		t4 += s.D4.ErrorPct
+		t8 += s.D8.ErrorPct
+	}
+	n := float64(len(suite))
+	fmt.Fprintf(w, "%-18s %-7s %11.4f%% %11.4f%%\n", "Avg.", "", t4/n, t8/n)
+}
+
+// Fig12Point is one timeout setting of the Fig. 12 sensitivity study.
+type Fig12Point struct {
+	Timeout    uint64
+	GIFracPct  float64
+	ErrorPct   float64
+	GITimeouts uint64
+}
+
+// fig12Timeouts are the GI timeout periods of Fig. 12.
+var fig12Timeouts = []uint64{128, 512, 1024}
+
+// Fig12 reproduces Fig. 12: GI utilization and output error of the
+// bad_dot_product microbenchmark (4-distance scribbles) across GI timeout
+// periods.
+func Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
+	fmt.Fprintf(w, "Fig. 12 — GI timeout sensitivity (bad_dot_product, 4-distance)\n")
+	fmt.Fprintf(w, "%10s %14s %14s\n", "timeout", "serviced by GI", "output error")
+	var out []Fig12Point
+	for _, to := range fig12Timeouts {
+		f, err := workloads.Lookup("bad_dot_product")
+		if err != nil {
+			return nil, err
+		}
+		app := f.New(opt.Scale)
+		app.SetDDist(4)
+		sys := ghostwriter.New(ghostwriter.Config{
+			Protocol:  ghostwriter.Ghostwriter,
+			GITimeout: to,
+		})
+		app.Prepare(sys)
+		sys.Run(opt.Threads, app.Kernel)
+		r := RunResult{Stats: *sys.Stats()}
+		p := Fig12Point{
+			Timeout:    to,
+			GIFracPct:  r.GIFrac() * 100,
+			ErrorPct:   quality.Measure(quality.MPE, app.Output(sys), app.Golden()),
+			GITimeouts: r.Stats.GITimeouts,
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%10d %13.1f%% %13.2f%%\n", to, p.GIFracPct, p.ErrorPct)
+	}
+	return out, nil
+}
+
+// Table1 prints the simulated configuration (the paper's Table 1).
+func Table1(w io.Writer) {
+	sys := ghostwriter.New(ghostwriter.Config{Protocol: ghostwriter.Ghostwriter})
+	mc := sys.Machine().Config()
+	fmt.Fprintf(w, "Table 1 — simulation configuration\n")
+	fmt.Fprintf(w, "%-12s %d in-order cores, blocking, 1 op/issue\n", "Cores", mc.Cores)
+	fmt.Fprintf(w, "%-12s private %dkB D-cache, %d-way, %dB blocks, tree PLRU, %d-cycle hit\n",
+		"L1", mc.L1.SizeBytes>>10, mc.L1.Ways, mc.L1.BlockSize, mc.L1HitLatency)
+	fmt.Fprintf(w, "%-12s shared banks at directory homes, %d-cycle access\n", "L2", mc.L2Latency)
+	fmt.Fprintf(w, "%-12s Ghostwriter over MESI directory; GI timeout %d cycles\n",
+		"Coherence", mc.GITimeout)
+	fmt.Fprintf(w, "%-12s %dx%d mesh, XY routing, %d-cycle router, %d-cycle link, %d directories at corners %v\n",
+		"Network", mc.Mesh.Width, mc.Mesh.Height, mc.Mesh.RouterDelay, mc.Mesh.LinkDelay,
+		len(mc.DirNodes), mc.DirNodes)
+	fmt.Fprintf(w, "%-12s %d-cycle access latency, %d-cycle channel occupancy\n",
+		"DRAM", mc.DRAM.AccessLatency, mc.DRAM.Occupancy)
+}
+
+// Table2 prints the benchmark suite (the paper's Table 2).
+func Table2(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "Table 2 — benchmarks\n")
+	fmt.Fprintf(w, "%-18s %-8s %-20s %-6s %s\n", "application", "suite", "domain", "error", "input")
+	for _, f := range workloads.Suite() {
+		fmt.Fprintf(w, "%-18s %-8s %-20s %-6s %s\n", f.Name, f.Suite, f.Domain, f.Metric, f.Input)
+	}
+}
+
+// Extensions runs the beyond-Table-2 applications (kmeans, sobel, fft) at
+// d ∈ {0, 4, 8} and prints the same columns the suite figures use.
+func Extensions(w io.Writer, opt Options) ([]SuiteResult, error) {
+	fmt.Fprintf(w, "Extensions — beyond the paper's Table 2 (same suites)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n",
+		"app", "traffic d=8", "speedup d=8", "GS d=8", "GI d=8", "error d=8")
+	var out []SuiteResult
+	for _, f := range workloads.Extensions() {
+		s, err := RunSuiteApp(f.Name, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		fmt.Fprintf(w, "%-10s %12.3f %11.1f%% %11.1f%% %11.1f%% %11.4f%%\n",
+			s.App, s.TrafficNorm8, s.SpeedupPct8,
+			s.D8.GSFrac()*100, s.D8.GIFrac()*100, s.D8.ErrorPct)
+	}
+	return out, nil
+}
+
+// TrendPoint is one input-scale measurement of the headline application.
+type TrendPoint struct {
+	Scale        int
+	TrafficNorm8 float64
+	SpeedupPct8  float64
+	ErrorPct8    float64
+}
+
+// ScaleTrend measures linear_regression across input scales, supporting the
+// EXPERIMENTS.md analysis that the reproduction's shapes are stable under
+// scaling while residency-window error shrinks with input size.
+func ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
+	fmt.Fprintf(w, "Scale trend — linear_regression, d=8 vs baseline\n")
+	fmt.Fprintf(w, "%6s %14s %12s %12s\n", "scale", "traffic norm", "speedup", "error")
+	var out []TrendPoint
+	for _, sc := range scales {
+		o := opt
+		o.Scale = sc
+		s, err := RunSuiteApp("linear_regression", o)
+		if err != nil {
+			return nil, err
+		}
+		p := TrendPoint{
+			Scale:        sc,
+			TrafficNorm8: s.TrafficNorm8,
+			SpeedupPct8:  s.SpeedupPct8,
+			ErrorPct8:    s.D8.ErrorPct,
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%6d %14.3f %11.1f%% %11.4f%%\n", sc, p.TrafficNorm8, p.SpeedupPct8, p.ErrorPct8)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package harness runs the paper's evaluation: for every figure and table
+// in §4 it executes the required simulations and produces the same data
+// series the paper plots. It is shared by cmd/gwsweep (which regenerates
+// EXPERIMENTS.md) and the repository's top-level benchmarks.
+package harness
+
+import (
+	"fmt"
+
+	ghostwriter "ghostwriter"
+	"ghostwriter/internal/quality"
+	"ghostwriter/internal/workloads"
+)
+
+// Options scales the evaluation.
+type Options struct {
+	// Scale grows every application's input linearly (1 = test scale).
+	Scale int
+	// Threads is the worker-thread count (the paper runs 24, one per core).
+	Threads int
+}
+
+// DefaultOptions runs the paper's 24-thread configuration at test scale.
+func DefaultOptions() Options { return Options{Scale: 1, Threads: 24} }
+
+// RunResult is one (application, d-distance) simulation outcome.
+type RunResult struct {
+	App     string
+	Suite   string
+	Metric  quality.MetricKind
+	DDist   int // 0 = baseline MESI (the paper's d-distance 0 bars)
+	Threads int
+	Cycles  uint64
+	Stats   ghostwriter.Stats
+	Energy  ghostwriter.EnergyMeter
+	// ErrorPct is the application's Table 2 metric, in percent.
+	ErrorPct float64
+}
+
+// GSFrac returns the Fig. 7a metric: the fraction of stores that would
+// have missed on S that were serviced by GS.
+func (r *RunResult) GSFrac() float64 {
+	if r.Stats.StoresOnS == 0 {
+		return 0
+	}
+	return float64(r.Stats.ServicedByGS) / float64(r.Stats.StoresOnS)
+}
+
+// GIFrac returns the Fig. 7b metric for invalid blocks and GI.
+func (r *RunResult) GIFrac() float64 {
+	if r.Stats.StoresOnI == 0 {
+		return 0
+	}
+	return float64(r.Stats.ServicedByGI) / float64(r.Stats.StoresOnI)
+}
+
+// RunApp executes one application once. ddist 0 selects the baseline MESI
+// protocol; positive values run Ghostwriter with that d-distance. profile
+// enables the Fig. 2 store-similarity profiler.
+func RunApp(name string, opt Options, ddist int, profile bool) (RunResult, error) {
+	return runApp(name, opt, ddist, profile, ghostwriter.PolicyHybrid)
+}
+
+// RunAppPolicy is RunApp with an explicit scribble residency policy (used
+// by the ablation benchmarks).
+func RunAppPolicy(name string, opt Options, ddist int, policy ghostwriter.ScribblePolicy) (RunResult, error) {
+	return runApp(name, opt, ddist, false, policy)
+}
+
+func runApp(name string, opt Options, ddist int, profile bool, policy ghostwriter.ScribblePolicy) (RunResult, error) {
+	f, err := workloads.Lookup(name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	app := f.New(opt.Scale)
+	cfg := ghostwriter.Config{ProfileSimilarity: profile, Policy: policy}
+	if ddist > 0 {
+		cfg.Protocol = ghostwriter.Ghostwriter
+	}
+	sys := ghostwriter.New(cfg)
+	d := ddist
+	if d == 0 {
+		d = -1 // baseline: scribbles execute as conventional stores
+	}
+	app.SetDDist(d)
+	app.Prepare(sys)
+	cycles := sys.Run(opt.Threads, app.Kernel)
+	res := RunResult{
+		App:      f.Name,
+		Suite:    f.Suite,
+		Metric:   f.Metric,
+		DDist:    ddist,
+		Threads:  opt.Threads,
+		Cycles:   cycles,
+		Stats:    *sys.Stats(),
+		Energy:   *sys.Energy(),
+		ErrorPct: quality.Measure(f.Metric, app.Output(sys), app.Golden()),
+	}
+	return res, nil
+}
+
+// SuiteResult bundles the baseline, d=4, and d=8 runs of one application —
+// the inputs to Figs. 7 through 11.
+type SuiteResult struct {
+	App                string
+	Base, D4, D8       RunResult
+	SpeedupPct4        float64 // Fig. 10
+	SpeedupPct8        float64
+	EnergySavedPct4    float64 // Fig. 9 (NoC + memory hierarchy dynamic energy)
+	EnergySavedPct8    float64
+	TrafficNorm4       float64 // Fig. 8 (total messages normalized to baseline)
+	TrafficNorm8       float64
+	NetEnergySaved4Pct float64
+	NetEnergySaved8Pct float64
+}
+
+// RunSuiteApp runs one application at d ∈ {0, 4, 8} and derives the
+// figure metrics.
+func RunSuiteApp(name string, opt Options) (SuiteResult, error) {
+	base, err := RunApp(name, opt, 0, false)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	d4, err := RunApp(name, opt, 4, false)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	d8, err := RunApp(name, opt, 8, false)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	s := SuiteResult{App: name, Base: base, D4: d4, D8: d8}
+	s.SpeedupPct4 = pctGain(base.Cycles, d4.Cycles)
+	s.SpeedupPct8 = pctGain(base.Cycles, d8.Cycles)
+	s.EnergySavedPct4 = pctSaved(base.Energy.TotalPJ(), d4.Energy.TotalPJ())
+	s.EnergySavedPct8 = pctSaved(base.Energy.TotalPJ(), d8.Energy.TotalPJ())
+	s.NetEnergySaved4Pct = pctSaved(base.Energy.NetworkPJ, d4.Energy.NetworkPJ)
+	s.NetEnergySaved8Pct = pctSaved(base.Energy.NetworkPJ, d8.Energy.NetworkPJ)
+	s.TrafficNorm4 = ratio(d4.Stats.TotalMsgs(), base.Stats.TotalMsgs())
+	s.TrafficNorm8 = ratio(d8.Stats.TotalMsgs(), base.Stats.TotalMsgs())
+	return s, nil
+}
+
+// RunSuite runs the whole Table 2 suite.
+func RunSuite(opt Options) ([]SuiteResult, error) {
+	var out []SuiteResult
+	for _, f := range workloads.Suite() {
+		s, err := RunSuiteApp(f.Name, opt)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", f.Name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// pctGain returns the percent speedup of after vs before cycle counts.
+func pctGain(before, after uint64) float64 {
+	if after == 0 {
+		return 0
+	}
+	return (float64(before)/float64(after) - 1) * 100
+}
+
+// pctSaved returns the percent reduction from before to after.
+func pctSaved(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (1 - after/before) * 100
+}
+
+// ratio returns a/b as a float (0 if b is 0).
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

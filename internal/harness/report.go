@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"ghostwriter/internal/stats"
+)
+
+// Report is the machine-readable form of a full evaluation run, suitable
+// for plotting the paper's figures with external tooling.
+type Report struct {
+	Options Options       `json:"options"`
+	Fig1    []Fig1Point   `json:"fig1,omitempty"`
+	Fig2    []Fig2Row     `json:"fig2,omitempty"`
+	Suite   []SuiteRecord `json:"suite,omitempty"` // feeds Figs. 7-11
+	Fig12   []Fig12Point  `json:"fig12,omitempty"`
+}
+
+// SuiteRecord flattens one application's three runs into plottable fields.
+type SuiteRecord struct {
+	App             string       `json:"app"`
+	Metric          string       `json:"metric"`
+	GSPct4          float64      `json:"gsPct4"`
+	GSPct8          float64      `json:"gsPct8"`
+	GIPct4          float64      `json:"giPct4"`
+	GIPct8          float64      `json:"giPct8"`
+	TrafficNorm4    float64      `json:"trafficNorm4"`
+	TrafficNorm8    float64      `json:"trafficNorm8"`
+	EnergySaved4Pct float64      `json:"energySaved4Pct"`
+	EnergySaved8Pct float64      `json:"energySaved8Pct"`
+	Speedup4Pct     float64      `json:"speedup4Pct"`
+	Speedup8Pct     float64      `json:"speedup8Pct"`
+	Error4Pct       float64      `json:"error4Pct"`
+	Error8Pct       float64      `json:"error8Pct"`
+	BaseCycles      uint64       `json:"baseCycles"`
+	Msgs            TrafficSplit `json:"msgs"`
+}
+
+// TrafficSplit is the Fig. 8 per-class message breakdown for d ∈ {0,4,8}.
+type TrafficSplit struct {
+	Base map[string]uint64 `json:"base"`
+	D4   map[string]uint64 `json:"d4"`
+	D8   map[string]uint64 `json:"d8"`
+}
+
+// classMap converts a stats message array into a named map.
+func classMap(s *stats.Stats) map[string]uint64 {
+	out := make(map[string]uint64, 5)
+	for _, c := range stats.MsgClasses() {
+		out[c.String()] = s.Msgs[c]
+	}
+	return out
+}
+
+// record flattens one SuiteResult.
+func record(s SuiteResult) SuiteRecord {
+	return SuiteRecord{
+		App:             s.App,
+		Metric:          s.Base.Metric.String(),
+		GSPct4:          s.D4.GSFrac() * 100,
+		GSPct8:          s.D8.GSFrac() * 100,
+		GIPct4:          s.D4.GIFrac() * 100,
+		GIPct8:          s.D8.GIFrac() * 100,
+		TrafficNorm4:    s.TrafficNorm4,
+		TrafficNorm8:    s.TrafficNorm8,
+		EnergySaved4Pct: s.EnergySavedPct4,
+		EnergySaved8Pct: s.EnergySavedPct8,
+		Speedup4Pct:     s.SpeedupPct4,
+		Speedup8Pct:     s.SpeedupPct8,
+		Error4Pct:       s.D4.ErrorPct,
+		Error8Pct:       s.D8.ErrorPct,
+		BaseCycles:      s.Base.Cycles,
+		Msgs: TrafficSplit{
+			Base: classMap(&s.Base.Stats),
+			D4:   classMap(&s.D4.Stats),
+			D8:   classMap(&s.D8.Stats),
+		},
+	}
+}
+
+// BuildReport runs the full evaluation and assembles the report.
+func BuildReport(opt Options) (*Report, error) {
+	r := &Report{Options: opt}
+	var err error
+	if r.Fig1, err = Fig1(io.Discard, opt); err != nil {
+		return nil, err
+	}
+	if r.Fig2, err = Fig2(io.Discard, opt); err != nil {
+		return nil, err
+	}
+	suite, err := RunSuite(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range suite {
+		r.Suite = append(r.Suite, record(s))
+	}
+	if r.Fig12, err = Fig12(io.Discard, opt); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

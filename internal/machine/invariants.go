@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/mem"
+)
+
+// Quiesced reports whether no core operation or directory transaction is in
+// flight (the state in which invariants are meaningful).
+func (m *Machine) Quiesced() bool {
+	for _, l := range m.l1s {
+		if l.Busy() {
+			return false
+		}
+	}
+	for _, d := range m.dirs {
+		if !d.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants validates the protocol's coherence invariants across all
+// caches and directories. The machine must be quiesced. With strictData set
+// (baseline runs with no scribbles), it additionally checks that every
+// Shared copy holds the same bytes as the L2 home — a property Ghostwriter
+// deliberately relaxes for GS blocks.
+func (m *Machine) CheckInvariants(strictData bool) error {
+	if !m.Quiesced() {
+		return fmt.Errorf("machine: invariant check while not quiesced")
+	}
+	type holder struct {
+		l1    int
+		state cache.State
+		data  []byte
+	}
+	copies := make(map[mem.Addr][]holder)
+	for _, l := range m.l1s {
+		arr := l.Array()
+		id := l.ID()
+		arr.ForEach(func(si int, b *cache.Block) {
+			base := arr.AddrOf(si, b)
+			copies[base] = append(copies[base], holder{l1: id, state: b.State, data: b.Data})
+		})
+	}
+	for base, hs := range copies {
+		owners := 0
+		ownerID := -1
+		sharers := uint32(0)
+		for _, h := range hs {
+			switch h.state {
+			case cache.Modified, cache.Exclusive:
+				owners++
+				ownerID = h.l1
+			case cache.Shared, cache.GS:
+				sharers |= 1 << uint(h.l1)
+			case cache.Invalid, cache.GI:
+				// Untracked; no constraint.
+			default:
+				return fmt.Errorf("block %#x: transient state %v in l1 %d while quiesced",
+					base, h.state, h.l1)
+			}
+		}
+		// Single-writer: at most one owner, and no read copies beside it.
+		if owners > 1 {
+			return fmt.Errorf("block %#x: %d owners", base, owners)
+		}
+		if owners == 1 && sharers != 0 {
+			return fmt.Errorf("block %#x: owner %d coexists with sharers %b", base, ownerID, sharers)
+		}
+		d := m.dirFor(base)
+		if owners == 1 {
+			if got := d.Owner(base); got != ownerID {
+				return fmt.Errorf("block %#x: directory owner %d, cache owner %d", base, got, ownerID)
+			}
+		}
+		if got := d.Owner(base); got >= 0 && owners == 0 {
+			return fmt.Errorf("block %#x: directory names owner %d but no cache owns it", base, got)
+		}
+		// Every S/GS copy must be on the sharer list (GI copies must not).
+		dirSharers := d.Sharers(base)
+		if sharers&^dirSharers != 0 {
+			return fmt.Errorf("block %#x: cached sharers %b not covered by directory %b",
+				base, sharers, dirSharers)
+		}
+		if strictData {
+			l2, ok := d.Peek(base)
+			for _, h := range hs {
+				if h.state == cache.Shared && ok && !bytes.Equal(h.data, l2) {
+					return fmt.Errorf("block %#x: shared copy in l1 %d diverges from L2", base, h.l1)
+				}
+			}
+		}
+	}
+	// Directory sharer lists may legitimately include caches that silently
+	// dropped... they may not: evictions of S/GS send PUTS. Check that every
+	// directory-listed sharer actually holds the block in S/GS/Invalid-
+	// transitional form.
+	for base := range copies {
+		d := m.dirFor(base)
+		dirSharers := d.Sharers(base)
+		for id := 0; dirSharers != 0; id++ {
+			if dirSharers&1 != 0 {
+				arr := m.l1s[id].Array()
+				b := arr.Lookup(base)
+				if b == nil || (b.State != cache.Shared && b.State != cache.GS) {
+					st := cache.State(0)
+					if b != nil {
+						st = b.State
+					}
+					return fmt.Errorf("block %#x: directory lists l1 %d as sharer but cache state is %v (present=%v)",
+						base, id, st, b != nil)
+				}
+			}
+			dirSharers >>= 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package machine assembles the simulated CMP of Table 1: in-order blocking
+// cores, private L1s with the Ghostwriter protocol, four directory homes
+// with L2 banks at the mesh corners, a 6x4 mesh NoC, and per-home DRAM
+// channels. It also provides the deterministic thread-execution harness that
+// workload kernels run on.
+package machine
+
+import (
+	"fmt"
+
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/dram"
+	"ghostwriter/internal/energy"
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/noc"
+	"ghostwriter/internal/sim"
+	"ghostwriter/internal/stats"
+)
+
+// Config selects the simulated system. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Cores int // number of cores (= mesh nodes used for L1s)
+
+	Mesh noc.Config
+
+	L1           cache.Config
+	L1HitLatency sim.Cycle
+
+	DirLatency sim.Cycle
+	L2Latency  sim.Cycle
+	DirNodes   []int // mesh nodes hosting a directory + L2 bank
+	// L2PerCoreBytes sizes the shared L2 (Table 1: 128 kB per core); the
+	// total is split evenly across the directory banks. 0 = unbounded.
+	L2PerCoreBytes int
+
+	DRAM dram.Config
+
+	// Ghostwriter enables the approximate protocol states; false gives the
+	// baseline MESI directory protocol (the paper's d-distance 0 bars).
+	Ghostwriter bool
+	// Policy selects how scribbles behave on blocks already in GS/GI
+	// (PolicyResident reproduces the paper's Fig. 3; PolicyEscalate is the
+	// bounded-drift ablation).
+	Policy coherence.ScribblePolicy
+	// GITimeout is the periodic GI→I timeout in cycles (Table 1: 1024).
+	GITimeout sim.Cycle
+	// ErrorBound caps hidden writes per GS/GI residency (§3.5 monitor;
+	// 0 disables).
+	ErrorBound uint32
+	// AdaptiveGITimeout lets each L1 tune its sweep period at runtime.
+	AdaptiveGITimeout bool
+	// StaleLoads enables the Rengasamy-style load-side approximation.
+	StaleLoads bool
+	// MSI degrades the base protocol from MESI to MSI (no E state).
+	MSI bool
+	// MigratoryOpt enables the Stenström-style migratory-sharing
+	// optimization in the baseline protocol (a §5 related-work baseline).
+	MigratoryOpt bool
+	// ProfileSimilarity turns on the Fig. 2 store-value d-distance profiler.
+	ProfileSimilarity bool
+}
+
+// DefaultConfig mirrors Table 1 of the paper: 24 in-order cores at 1 GHz,
+// private 32 kB 2-way L1s with 64 B blocks and 2-cycle hits, shared L2 at
+// 10 cycles, a 6x4 mesh with 1-cycle routers and links, 4 directory
+// controllers at the mesh corners, and a 1024-cycle GI timeout.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          24,
+		Mesh:           noc.DefaultConfig(),
+		L1:             cache.Config{SizeBytes: 32 << 10, Ways: 2, BlockSize: 64},
+		L1HitLatency:   2,
+		DirLatency:     6,
+		L2Latency:      10,
+		L2PerCoreBytes: 128 << 10,
+		DirNodes:       []int{0, 5, 18, 23}, // the 6x4 mesh corners
+		DRAM:           dram.DefaultConfig(),
+		Ghostwriter:    false,
+		GITimeout:      1024,
+	}
+}
+
+// Machine is one simulated CMP instance. Build with New, load inputs with
+// the allocator and WriteBacking, run kernels with Run, then read results
+// with ReadCoherent and inspect Stats/Energy.
+type Machine struct {
+	cfg     Config
+	eng     *sim.Engine
+	net     *noc.Network
+	l1s     []*coherence.L1
+	dirs    []*coherence.Directory
+	dirNode []noc.NodeID
+	backing *mem.Memory
+	alloc   *mem.Allocator
+	meter   *energy.Meter
+	st      *stats.Stats
+
+	threads []*Thread
+	active  int
+	arrived int
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		panic(fmt.Sprintf("machine: unsupported core count %d", cfg.Cores))
+	}
+	if cfg.Cores > cfg.Mesh.Width*cfg.Mesh.Height {
+		panic("machine: more cores than mesh nodes")
+	}
+	if len(cfg.DirNodes) == 0 {
+		panic("machine: no directory nodes")
+	}
+	m := &Machine{
+		cfg:     cfg,
+		eng:     &sim.Engine{},
+		backing: mem.New(),
+		alloc:   mem.NewAllocator(0x1_0000, cfg.L1.BlockSize),
+		meter:   &energy.Meter{},
+		st:      &stats.Stats{},
+	}
+	m.net = noc.New(m.eng, cfg.Mesh, m.meter, m.st)
+
+	for _, n := range cfg.DirNodes {
+		m.dirNode = append(m.dirNode, noc.NodeID(n))
+	}
+	home := func(a mem.Addr) noc.NodeID {
+		return m.dirNode[int(uint64(a)/uint64(cfg.L1.BlockSize))%len(m.dirNode)]
+	}
+
+	dirCfg := coherence.DirConfig{
+		Latency:      cfg.DirLatency,
+		L2Latency:    cfg.L2Latency,
+		BlockSize:    cfg.L1.BlockSize,
+		NoExclusive:  cfg.MSI,
+		MigratoryOpt: cfg.MigratoryOpt,
+	}
+	if cfg.L2PerCoreBytes > 0 {
+		dirCfg.CapacityBlocks = cfg.L2PerCoreBytes * cfg.Cores / len(cfg.DirNodes) / cfg.L1.BlockSize
+	}
+	dirAt := make(map[noc.NodeID]*coherence.Directory)
+	for i, n := range m.dirNode {
+		ch := dram.NewChannel(m.eng, cfg.DRAM, m.backing, m.meter, m.st)
+		d := coherence.NewDirectory(i, n, m.eng, m.net, dirCfg, ch, m.meter, m.st)
+		m.dirs = append(m.dirs, d)
+		dirAt[n] = d
+	}
+
+	l1Cfg := coherence.L1Config{
+		Cache:             cfg.L1,
+		HitLatency:        cfg.L1HitLatency,
+		GITimeout:         cfg.GITimeout,
+		Ghostwriter:       cfg.Ghostwriter,
+		Policy:            cfg.Policy,
+		ErrorBound:        cfg.ErrorBound,
+		AdaptiveGITimeout: cfg.AdaptiveGITimeout,
+		StaleLoads:        cfg.StaleLoads,
+		ProfileSimilarity: cfg.ProfileSimilarity,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.l1s = append(m.l1s, coherence.NewL1(i, m.eng, m.net, l1Cfg, home, m.meter, m.st))
+	}
+
+	// One handler per mesh node dispatches to the co-located components.
+	for n := 0; n < m.net.Nodes(); n++ {
+		node := noc.NodeID(n)
+		l1 := (*coherence.L1)(nil)
+		if n < cfg.Cores {
+			l1 = m.l1s[n]
+		}
+		d := dirAt[node]
+		m.net.Register(node, func(payload any) {
+			msg := payload.(*coherence.Msg)
+			if msg.ToDir {
+				if d == nil {
+					panic(fmt.Sprintf("machine: directory message at non-home node %d", node))
+				}
+				d.HandleMsg(msg)
+				return
+			}
+			if l1 == nil {
+				panic(fmt.Sprintf("machine: L1 message at coreless node %d", node))
+			}
+			l1.HandleMsg(msg)
+		})
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Alloc reserves simulated memory (packed, like malloc).
+func (m *Machine) Alloc(size, align int) mem.Addr { return m.alloc.Alloc(size, align) }
+
+// AllocPadded reserves block-aligned, block-padded simulated memory (the
+// compiler padding around approximate regions, §3.1).
+func (m *Machine) AllocPadded(size int) mem.Addr { return m.alloc.AllocPadded(size) }
+
+// WriteBacking preloads input data into simulated DRAM before a run.
+func (m *Machine) WriteBacking(a mem.Addr, data []byte) { m.backing.Write(a, data) }
+
+// WriteBackingUint preloads one value into simulated DRAM.
+func (m *Machine) WriteBackingUint(a mem.Addr, width int, v uint64) {
+	m.backing.WriteUint(a, width, v)
+}
+
+// L1 returns core i's cache controller (used by tests and the invariant
+// checker to inspect protocol state).
+func (m *Machine) L1(i int) *coherence.L1 { return m.l1s[i] }
+
+// CoreUtil is one thread's utilization breakdown over the last Run.
+type CoreUtil struct {
+	Thread int
+	Core   int
+	// Ops is the number of memory operations the thread issued.
+	Ops uint64
+	// MemCycles is the time spent in (or waiting on) the memory system.
+	MemCycles uint64
+	// ComputeCycles is the charged non-memory work.
+	ComputeCycles uint64
+	// BarrierCycles is the time spent waiting at barriers.
+	BarrierCycles uint64
+	// FinishCycle is the cycle the thread completed.
+	FinishCycle uint64
+}
+
+// CoreReport returns each thread's utilization breakdown for the last Run —
+// where the time went: memory stalls, compute, or barrier waits. (The three
+// buckets need not sum to the wall time: issue gaps and migration costs are
+// unattributed.)
+func (m *Machine) CoreReport() []CoreUtil {
+	out := make([]CoreUtil, len(m.threads))
+	for i, t := range m.threads {
+		out[i] = CoreUtil{
+			Thread:        t.id,
+			Core:          t.core,
+			Ops:           t.ops,
+			MemCycles:     uint64(t.memCycles),
+			ComputeCycles: uint64(t.computeCyc),
+			BarrierCycles: uint64(t.barrierCyc),
+			FinishCycle:   uint64(t.finish),
+		}
+	}
+	return out
+}
+
+// Network exposes the mesh (for link-utilization reporting).
+func (m *Machine) Network() *noc.Network { return m.net }
+
+// Stats returns the run's counters.
+func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// ResetStats zeroes the measurement counters and the energy meter without
+// touching any architectural state — the standard warm-up methodology:
+// run a warm-up phase, reset, then measure the region of interest.
+func (m *Machine) ResetStats() {
+	*m.st = stats.Stats{}
+	*m.meter = energy.Meter{}
+}
+
+// Energy returns the run's energy meter.
+func (m *Machine) Energy() *energy.Meter { return m.meter }
+
+// Cycles returns the current simulated time.
+func (m *Machine) Cycles() uint64 { return uint64(m.eng.Now()) }
+
+// dirFor returns the home directory object for a block address.
+func (m *Machine) dirFor(a mem.Addr) *coherence.Directory {
+	idx := int(uint64(a)/uint64(m.cfg.L1.BlockSize)) % len(m.dirs)
+	return m.dirs[idx]
+}
+
+// ReadCoherent returns the system-wide coherent value at a: the owner's
+// copy if a cache owns the block, else the L2 home's copy, else DRAM.
+// Hidden GS/GI updates are invisible, exactly as the paper specifies
+// (§3.5: updates in approximate states are forfeited when the block
+// returns to coherency).
+func (m *Machine) ReadCoherent(a mem.Addr, width int) uint64 {
+	base := mem.Addr(uint64(a) &^ uint64(m.cfg.L1.BlockSize-1))
+	d := m.dirFor(base)
+	if owner := d.Owner(base); owner >= 0 {
+		arr := m.l1s[owner].Array()
+		if b := arr.Lookup(base); b != nil &&
+			(b.State == cache.Modified || b.State == cache.Exclusive || b.State == cache.EVA) {
+			return b.ReadWord(arr.Offset(a), width)
+		}
+	}
+	if data, ok := d.Peek(base); ok {
+		return mem.DecodeUint(data[int(uint64(a)-uint64(base)) : int(uint64(a)-uint64(base))+width])
+	}
+	return m.backing.ReadUint(a, width)
+}

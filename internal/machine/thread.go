@@ -1,0 +1,327 @@
+package machine
+
+import (
+	"fmt"
+
+	"ghostwriter/internal/approx"
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/sim"
+)
+
+// Kernel is the body of one simulated thread. Kernels interact with the
+// simulated machine exclusively through the Thread API; host-side state
+// must be per-thread (or read-only) for the simulation to stay
+// deterministic.
+type Kernel func(t *Thread)
+
+type reqKind uint8
+
+const (
+	reqMem reqKind = iota
+	reqCompute
+	reqBarrier
+	reqMigrate
+	reqDone
+)
+
+type threadReq struct {
+	kind  reqKind
+	op    coherence.OpKind
+	addr  mem.Addr
+	width int
+	value uint64
+	d     int
+	n     uint64
+}
+
+// migrationCost is the charged context-switch overhead in cycles.
+const migrationCost = 200
+
+// Thread is the simulated-thread handle passed to kernels. Each thread runs
+// pinned to one core (until Migrate); memory operations block in program
+// order, exactly like the paper's in-order cores.
+type Thread struct {
+	id       int
+	core     int
+	nthreads int
+	m        *Machine
+	req      chan threadReq
+	res      chan uint64
+	ddist    int
+	barrier  bool
+	done     bool
+
+	// Per-thread utilization accounting (CoreReport).
+	ops          uint64
+	memCycles    sim.Cycle
+	computeCyc   sim.Cycle
+	barrierSince sim.Cycle
+	barrierCyc   sim.Cycle
+	finish       sim.Cycle
+}
+
+// ID returns the thread's index in [0, N).
+func (t *Thread) ID() int { return t.id }
+
+// N returns the number of threads in the running kernel.
+func (t *Thread) N() int { return t.nthreads }
+
+// SetApproxDist programs this core's scribe comparator with a new
+// d-distance (the paper's setaprx instruction). A negative d disables
+// approximation (endaprx): subsequent scribbles execute as plain stores.
+// Reprogramming costs one cycle; the paper advises using it sparingly.
+func (t *Thread) SetApproxDist(d int) {
+	t.ddist = d
+	t.Compute(1)
+}
+
+// ApproxDist returns the core's current d-distance (-1 when disabled).
+func (t *Thread) ApproxDist() int { return t.ddist }
+
+// Migrate moves the thread to another core, modelling an OS migration.
+// Per §3.5 of the paper, approximate blocks cannot move with the thread:
+// the old core's GS/GI copies keep their hidden updates locally, but the
+// thread now runs against a cold cache, so those updates are effectively
+// forfeited from its point of view. The target core must not be running
+// another live thread. Migration charges a fixed context-switch cost.
+func (t *Thread) Migrate(core int) {
+	t.req <- threadReq{kind: reqMigrate, n: uint64(core)}
+	<-t.res
+}
+
+// Core returns the core the thread currently runs on.
+func (t *Thread) Core() int { return t.core }
+
+// Compute charges n core cycles of non-memory work. It returns once the
+// simulated clock has advanced past the charged cycles, so it is also a
+// synchronization point with the engine.
+func (t *Thread) Compute(n uint64) {
+	if n == 0 {
+		return
+	}
+	t.req <- threadReq{kind: reqCompute, n: n}
+	<-t.res
+}
+
+// Barrier blocks until every live thread has reached a barrier.
+func (t *Thread) Barrier() {
+	t.req <- threadReq{kind: reqBarrier}
+	<-t.res
+}
+
+func (t *Thread) mem(op coherence.OpKind, a mem.Addr, width int, v uint64) uint64 {
+	d := t.ddist
+	if op == coherence.OpScribble && d >= 8*width {
+		// The compiler legality rule of §3.1: the d-distance must be
+		// strictly below the access width, otherwise any value could be
+		// scribbled ("an undesirable level of approximation").
+		d = 8*width - 1
+	}
+	t.req <- threadReq{kind: reqMem, op: op, addr: a, width: width, value: v, d: d}
+	return <-t.res
+}
+
+// Load8 loads one byte.
+func (t *Thread) Load8(a mem.Addr) uint8 { return uint8(t.mem(coherence.OpLoad, a, 1, 0)) }
+
+// Load16 loads a 16-bit value.
+func (t *Thread) Load16(a mem.Addr) uint16 { return uint16(t.mem(coherence.OpLoad, a, 2, 0)) }
+
+// Load32 loads a 32-bit value.
+func (t *Thread) Load32(a mem.Addr) uint32 { return uint32(t.mem(coherence.OpLoad, a, 4, 0)) }
+
+// Load64 loads a 64-bit value.
+func (t *Thread) Load64(a mem.Addr) uint64 { return t.mem(coherence.OpLoad, a, 8, 0) }
+
+// Store8 stores one byte.
+func (t *Thread) Store8(a mem.Addr, v uint8) { t.mem(coherence.OpStore, a, 1, uint64(v)) }
+
+// Store16 stores a 16-bit value.
+func (t *Thread) Store16(a mem.Addr, v uint16) { t.mem(coherence.OpStore, a, 2, uint64(v)) }
+
+// Store32 stores a 32-bit value.
+func (t *Thread) Store32(a mem.Addr, v uint32) { t.mem(coherence.OpStore, a, 4, uint64(v)) }
+
+// Store64 stores a 64-bit value.
+func (t *Thread) Store64(a mem.Addr, v uint64) { t.mem(coherence.OpStore, a, 8, v) }
+
+// Scribble8 issues an approximate byte store (the scribble instruction).
+func (t *Thread) Scribble8(a mem.Addr, v uint8) { t.mem(coherence.OpScribble, a, 1, uint64(v)) }
+
+// Scribble16 issues an approximate 16-bit store.
+func (t *Thread) Scribble16(a mem.Addr, v uint16) { t.mem(coherence.OpScribble, a, 2, uint64(v)) }
+
+// Scribble32 issues an approximate 32-bit store.
+func (t *Thread) Scribble32(a mem.Addr, v uint32) { t.mem(coherence.OpScribble, a, 4, uint64(v)) }
+
+// Scribble64 issues an approximate 64-bit store.
+func (t *Thread) Scribble64(a mem.Addr, v uint64) { t.mem(coherence.OpScribble, a, 8, v) }
+
+// FetchAdd32 atomically adds delta to the 32-bit value at a and returns
+// the previous value. Atomics always use the conventional protocol —
+// synchronization data must never be approximated (§3.1).
+func (t *Thread) FetchAdd32(a mem.Addr, delta uint32) uint32 {
+	return uint32(t.mem(coherence.OpAtomicAdd, a, 4, uint64(delta)))
+}
+
+// FetchAdd64 atomically adds delta to the 64-bit value at a and returns
+// the previous value.
+func (t *Thread) FetchAdd64(a mem.Addr, delta uint64) uint64 {
+	return t.mem(coherence.OpAtomicAdd, a, 8, delta)
+}
+
+// LoadF32 loads a float32.
+func (t *Thread) LoadF32(a mem.Addr) float32 {
+	return approx.Float32FromBits(uint64(t.Load32(a)))
+}
+
+// StoreF32 stores a float32.
+func (t *Thread) StoreF32(a mem.Addr, v float32) {
+	t.Store32(a, uint32(approx.Float32Bits(v)))
+}
+
+// ScribbleF32 issues an approximate float32 store; d-distance constrains the
+// low mantissa bits of the IEEE-754 pattern.
+func (t *Thread) ScribbleF32(a mem.Addr, v float32) {
+	t.Scribble32(a, uint32(approx.Float32Bits(v)))
+}
+
+// LoadF64 loads a float64.
+func (t *Thread) LoadF64(a mem.Addr) float64 {
+	return approx.Float64FromBits(t.Load64(a))
+}
+
+// StoreF64 stores a float64.
+func (t *Thread) StoreF64(a mem.Addr, v float64) {
+	t.Store64(a, approx.Float64Bits(v))
+}
+
+// ScribbleF64 issues an approximate float64 store.
+func (t *Thread) ScribbleF64(a mem.Addr, v float64) {
+	t.Scribble64(a, approx.Float64Bits(v))
+}
+
+// Run executes kernel on nthreads simulated threads (thread i pinned to
+// core i) until all of them return, then drains in-flight protocol traffic.
+// It returns the elapsed simulated cycles.
+func (m *Machine) Run(nthreads int, kernel Kernel) uint64 {
+	if nthreads <= 0 || nthreads > m.cfg.Cores {
+		panic(fmt.Sprintf("machine: %d threads on %d cores", nthreads, m.cfg.Cores))
+	}
+	m.threads = m.threads[:0]
+	for i := 0; i < nthreads; i++ {
+		t := &Thread{
+			id:       i,
+			core:     i,
+			nthreads: nthreads,
+			m:        m,
+			req:      make(chan threadReq),
+			res:      make(chan uint64),
+			ddist:    -1,
+		}
+		m.threads = append(m.threads, t)
+	}
+	m.active = nthreads
+	m.arrived = 0
+	for _, l := range m.l1s {
+		l.StartSweep()
+	}
+	start := m.eng.Now()
+	for _, t := range m.threads {
+		t := t
+		go func() {
+			kernel(t)
+			t.req <- threadReq{kind: reqDone}
+		}()
+		m.eng.After(0, func() { m.issue(t) })
+	}
+	m.eng.RunUntil(func() bool { return m.active == 0 })
+	// The run ends when the last thread finishes; the drain below only
+	// retires in-flight protocol stragglers and disarmed GI sweeps, whose
+	// event timestamps must not count as execution time.
+	end := m.eng.Now()
+	for _, l := range m.l1s {
+		l.Stop()
+	}
+	if _, drained := m.eng.Drain(100_000_000); !drained {
+		panic("machine: protocol failed to drain after run")
+	}
+	elapsed := uint64(end - start)
+	m.st.Cycles = uint64(end)
+	return elapsed
+}
+
+// issue receives the thread's next request; this is the strict engine ↔
+// kernel handoff that keeps the simulation deterministic.
+func (m *Machine) issue(t *Thread) {
+	r := <-t.req
+	switch r.kind {
+	case reqMem:
+		issuedAt := m.eng.Now()
+		op := &coherence.CoreOp{
+			Kind:  r.op,
+			Addr:  r.addr,
+			Width: r.width,
+			Value: r.value,
+			DDist: r.d,
+			Done: func(v uint64) {
+				t.ops++
+				t.memCycles += m.eng.Now() - issuedAt
+				t.res <- v
+				m.eng.After(1, func() { m.issue(t) })
+			},
+		}
+		m.l1s[t.core].Access(op)
+	case reqCompute:
+		t.computeCyc += sim.Cycle(r.n)
+		m.eng.After(sim.Cycle(r.n), func() {
+			t.res <- 0
+			m.issue(t)
+		})
+	case reqMigrate:
+		target := int(r.n)
+		if target < 0 || target >= m.cfg.Cores {
+			panic(fmt.Sprintf("machine: migration to invalid core %d", target))
+		}
+		for _, u := range m.threads {
+			if u != t && u.core == target && !u.done {
+				panic(fmt.Sprintf("machine: core %d already runs thread %d", target, u.id))
+			}
+		}
+		t.core = target
+		m.eng.After(migrationCost, func() {
+			t.res <- 0
+			m.issue(t)
+		})
+	case reqBarrier:
+		t.barrier = true
+		t.barrierSince = m.eng.Now()
+		m.arrived++
+		m.maybeReleaseBarrier()
+	case reqDone:
+		t.done = true
+		t.finish = m.eng.Now()
+		m.active--
+		m.maybeReleaseBarrier()
+	}
+}
+
+// maybeReleaseBarrier releases all waiting threads once every live thread
+// has arrived.
+func (m *Machine) maybeReleaseBarrier() {
+	if m.active == 0 || m.arrived < m.active {
+		return
+	}
+	m.arrived = 0
+	for _, u := range m.threads {
+		if !u.barrier {
+			continue
+		}
+		u.barrier = false
+		u.barrierCyc += m.eng.Now() - u.barrierSince
+		u.res <- 0
+		u := u
+		m.eng.After(1, func() { m.issue(u) })
+	}
+}

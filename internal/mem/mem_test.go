@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	buf := make([]byte, 64)
+	m.Read(0x1234, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten memory must read as zero")
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	src := []byte("the quick brown fox jumps over the lazy dog")
+	m.Write(0xFFE, src) // straddles a page boundary
+	got := make([]byte, len(src))
+	m.Read(0xFFE, got)
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip got %q want %q", got, src)
+	}
+}
+
+func TestUintWidths(t *testing.T) {
+	m := New()
+	for _, w := range []int{1, 2, 4, 8} {
+		v := uint64(0xA5A5A5A5A5A5A5A5)
+		m.WriteUint(0x100, w, v)
+		want := v
+		if w < 8 {
+			want &= (1 << (8 * uint(w))) - 1
+		}
+		if got := m.ReadUint(0x100, w); got != want {
+			t.Errorf("width %d: got %#x want %#x", w, got, want)
+		}
+	}
+}
+
+func TestUintLittleEndian(t *testing.T) {
+	m := New()
+	m.WriteUint(0x40, 4, 0x01020304)
+	b := make([]byte, 4)
+	m.Read(0x40, b)
+	if b[0] != 0x04 || b[3] != 0x01 {
+		t.Fatalf("expected little-endian layout, got % x", b)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	m.WriteUint(8, 4, 77)
+	if m.ReadUint(8, 4) != 77 {
+		t.Fatal("zero-value Memory not usable")
+	}
+}
+
+// Property: a random sequence of writes followed by reads behaves like a
+// flat byte array.
+func TestMemoryMatchesFlatModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const span = 3 * pageSize
+		model := make([]byte, span)
+		m := New()
+		for i := 0; i < 50; i++ {
+			off := rng.Intn(span - 64)
+			n := rng.Intn(64) + 1
+			chunk := make([]byte, n)
+			rng.Read(chunk)
+			copy(model[off:], chunk)
+			m.Write(Addr(off), chunk)
+		}
+		got := make([]byte, span)
+		m.Read(0, got)
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	al := NewAllocator(0x1000, 64)
+	a := al.Alloc(10, 0)
+	b := al.Alloc(10, 0)
+	if b != a+10 {
+		t.Fatalf("packed allocation: got %#x after %#x", b, a)
+	}
+	c := al.Alloc(4, 8)
+	if c%8 != 0 {
+		t.Fatalf("aligned allocation %#x not 8-aligned", c)
+	}
+}
+
+func TestAllocPadded(t *testing.T) {
+	al := NewAllocator(0, 64)
+	al.Alloc(13, 0) // dirty the bump pointer
+	a := al.AllocPadded(100)
+	if a%64 != 0 {
+		t.Fatalf("padded alloc base %#x not block aligned", a)
+	}
+	next := al.Alloc(1, 0)
+	if next%64 != 0 {
+		t.Fatalf("allocation after padded region starts at %#x, not a fresh block", next)
+	}
+	if next < a+100 {
+		t.Fatal("padded region overlaps next allocation")
+	}
+}
+
+// Property: AllocPadded never lets two allocations share a cache block.
+func TestAllocPaddedIsolationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		al := NewAllocator(0, 64)
+		type region struct{ lo, hi Addr } // [lo, hi) in block numbers
+		var regions []region
+		for _, s := range sizes {
+			size := int(s)%500 + 1
+			a := al.AllocPadded(size)
+			regions = append(regions, region{a / 64, (a + Addr(size) + 63) / 64})
+		}
+		for i := 1; i < len(regions); i++ {
+			if regions[i].lo < regions[i-1].hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two alignment did not panic")
+		}
+	}()
+	NewAllocator(0, 64).Alloc(8, 3)
+}

@@ -1,0 +1,220 @@
+// Package noc models the on-chip interconnect from Table 1 of the paper: a
+// 2D mesh with XY dimension-order routing, 1-cycle routers, 1-cycle links,
+// and per-link serialization (one flit per link per cycle). Messages are
+// segmented into flits; a message's delivery time accounts for router and
+// link latency at every hop plus queueing behind earlier traffic on each
+// link, which is how coherence-traffic reduction turns into speedup.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostwriter/internal/energy"
+	"ghostwriter/internal/sim"
+	"ghostwriter/internal/stats"
+)
+
+// NodeID identifies a mesh node (a core/L1 tile, possibly also hosting a
+// directory + L2 bank).
+type NodeID int
+
+// Handler receives a delivered message payload at a node.
+type Handler func(payload any)
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width, Height int       // mesh dimensions (paper: 6x4 = 24 nodes)
+	RouterDelay   sim.Cycle // per-hop router pipeline latency (paper: 1)
+	LinkDelay     sim.Cycle // per-hop link latency (paper: 1)
+	FlitBytes     int       // flit width in bytes (16)
+	HeaderBytes   int       // per-message header (8)
+}
+
+// DefaultConfig returns the Table 1 mesh: 6x4, 1-cycle router, 1-cycle link.
+func DefaultConfig() Config {
+	return Config{Width: 6, Height: 4, RouterDelay: 1, LinkDelay: 1, FlitBytes: 16, HeaderBytes: 8}
+}
+
+// Network is a mesh interconnect bound to a simulation engine.
+type Network struct {
+	cfg      Config
+	eng      *sim.Engine
+	handlers []Handler
+	linkFree []sim.Cycle // indexed by directed link id
+	linkBusy []sim.Cycle // cumulative flit-cycles per directed link
+	linkMsgs []uint64    // messages per directed link
+	meter    *energy.Meter
+	st       *stats.Stats
+}
+
+// New builds a mesh network. meter and st may not be nil.
+func New(eng *sim.Engine, cfg Config, meter *energy.Meter, st *stats.Stats) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: non-positive mesh dimensions")
+	}
+	if cfg.FlitBytes <= 0 {
+		panic("noc: non-positive flit size")
+	}
+	n := cfg.Width * cfg.Height
+	return &Network{
+		cfg:      cfg,
+		eng:      eng,
+		handlers: make([]Handler, n),
+		// 4 outgoing directions per node is an upper bound on links.
+		linkFree: make([]sim.Cycle, n*4),
+		linkBusy: make([]sim.Cycle, n*4),
+		linkMsgs: make([]uint64, n*4),
+		meter:    meter,
+		st:       st,
+	}
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Register installs the delivery handler for a node. Each node has exactly
+// one handler; the machine layer dispatches to co-located components.
+func (n *Network) Register(id NodeID, h Handler) {
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("noc: node %d already has a handler", id))
+	}
+	n.handlers[id] = h
+}
+
+// XY returns the mesh coordinates of a node.
+func (n *Network) XY(id NodeID) (x, y int) {
+	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
+}
+
+// NodeAt returns the node at mesh coordinates (x, y).
+func (n *Network) NodeAt(x, y int) NodeID { return NodeID(y*n.cfg.Width + x) }
+
+// Hops returns the XY route length between two nodes.
+func (n *Network) Hops(src, dst NodeID) int {
+	sx, sy := n.XY(src)
+	dx, dy := n.XY(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Flits returns the number of flits a payload of the given size occupies.
+func (n *Network) Flits(payloadBytes int) int {
+	total := payloadBytes + n.cfg.HeaderBytes
+	f := (total + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// linkID returns the directed-link index for the hop from to its neighbour
+// in direction dir (0=+x, 1=-x, 2=+y, 3=-y).
+func (n *Network) linkID(from NodeID, dir int) int { return int(from)*4 + dir }
+
+// route returns the XY route as a sequence of (node, direction) hops.
+func (n *Network) route(src, dst NodeID) []int {
+	var hops []int // link ids
+	x, y := n.XY(src)
+	dx, dy := n.XY(dst)
+	for x != dx {
+		dir := 0
+		step := 1
+		if dx < x {
+			dir, step = 1, -1
+		}
+		hops = append(hops, n.linkID(n.NodeAt(x, y), dir))
+		x += step
+	}
+	for y != dy {
+		dir := 2
+		step := 1
+		if dy < y {
+			dir, step = 3, -1
+		}
+		hops = append(hops, n.linkID(n.NodeAt(x, y), dir))
+		y += step
+	}
+	return hops
+}
+
+// Send injects a message of payloadBytes from src to dst and schedules its
+// delivery. Local (src == dst) messages pay one router delay and consume no
+// link bandwidth. The returned cycle is the delivery time.
+func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle {
+	h := n.handlers[dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler at node %d", dst))
+	}
+	flits := n.Flits(payloadBytes)
+	t := n.eng.Now()
+	if src == dst {
+		t += n.cfg.RouterDelay
+		n.meter.RouterTraversal(flits)
+		n.eng.At(t, func() { h(payload) })
+		return t
+	}
+	for _, link := range n.route(src, dst) {
+		depart := t
+		if n.linkFree[link] > depart {
+			depart = n.linkFree[link]
+		}
+		// The link is busy for the message's full flit train.
+		n.linkFree[link] = depart + sim.Cycle(flits)
+		n.linkBusy[link] += sim.Cycle(flits)
+		n.linkMsgs[link]++
+		t = depart + n.cfg.RouterDelay + n.cfg.LinkDelay
+		n.meter.RouterTraversal(flits)
+		n.meter.LinkTraversal(flits)
+		n.st.FlitHops += uint64(flits)
+	}
+	// Tail flit arrives flits-1 cycles after the head.
+	t += sim.Cycle(flits - 1)
+	n.eng.At(t, func() { h(payload) })
+	return t
+}
+
+// LinkUtil describes one directed mesh link's traffic over a run.
+type LinkUtil struct {
+	From, To   NodeID
+	Msgs       uint64
+	BusyCycles uint64
+}
+
+// dirDelta maps a direction index to its coordinate step.
+var dirDelta = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// TopLinks returns the k busiest directed links (by flit-cycles),
+// descending — the mesh's hotspots.
+func (n *Network) TopLinks(k int) []LinkUtil {
+	var all []LinkUtil
+	for id, busy := range n.linkBusy {
+		if busy == 0 {
+			continue
+		}
+		from := NodeID(id / 4)
+		dir := id % 4
+		x, y := n.XY(from)
+		tx, ty := x+dirDelta[dir][0], y+dirDelta[dir][1]
+		all = append(all, LinkUtil{
+			From: from, To: n.NodeAt(tx, ty),
+			Msgs: n.linkMsgs[id], BusyCycles: uint64(busy),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].BusyCycles != all[j].BusyCycles {
+			return all[i].BusyCycles > all[j].BusyCycles
+		}
+		return all[i].From < all[j].From
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

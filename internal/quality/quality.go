@@ -1,0 +1,94 @@
+// Package quality implements the output-error metrics of Table 2:
+// maximum percent error (MPE) and normalized root-mean-squared error
+// (NRMSE), following Akturk et al.'s quantification conventions the paper
+// cites for accuracy loss in approximate computing.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// MetricKind selects the error metric an application reports.
+type MetricKind uint8
+
+// Metric kinds, as assigned per application in Table 2.
+const (
+	MPE MetricKind = iota
+	NRMSE
+)
+
+// String returns the Table 2 abbreviation.
+func (k MetricKind) String() string {
+	if k == MPE {
+		return "MPE"
+	}
+	return "NRMSE"
+}
+
+// MaxPercentError returns the maximum relative error between approx and
+// golden, in percent. Elements whose golden value is (near) zero are
+// normalized by the golden range instead, so a zero expectation does not
+// blow the metric up.
+func MaxPercentError(approx, golden []float64) float64 {
+	if len(approx) != len(golden) {
+		panic(fmt.Sprintf("quality: length mismatch %d vs %d", len(approx), len(golden)))
+	}
+	if len(golden) == 0 {
+		return 0
+	}
+	span := rangeOf(golden)
+	worst := 0.0
+	for i := range golden {
+		denom := math.Abs(golden[i])
+		if denom < 1e-12 {
+			denom = span
+		}
+		if denom < 1e-12 {
+			continue
+		}
+		e := math.Abs(approx[i]-golden[i]) / denom * 100
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// NormalizedRMSE returns the root-mean-squared error normalized by the
+// golden range, in percent.
+func NormalizedRMSE(approx, golden []float64) float64 {
+	if len(approx) != len(golden) {
+		panic(fmt.Sprintf("quality: length mismatch %d vs %d", len(approx), len(golden)))
+	}
+	if len(golden) == 0 {
+		return 0
+	}
+	span := rangeOf(golden)
+	if span < 1e-12 {
+		span = 1
+	}
+	var sum float64
+	for i := range golden {
+		d := approx[i] - golden[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum/float64(len(golden))) / span * 100
+}
+
+// Measure applies the chosen metric, in percent.
+func Measure(k MetricKind, approx, golden []float64) float64 {
+	if k == MPE {
+		return MaxPercentError(approx, golden)
+	}
+	return NormalizedRMSE(approx, golden)
+}
+
+func rangeOf(v []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi - lo
+}

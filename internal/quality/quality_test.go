@@ -1,0 +1,98 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactOutputsHaveZeroError(t *testing.T) {
+	g := []float64{1, -2, 3.5, 0, 1e9}
+	if MaxPercentError(g, g) != 0 {
+		t.Error("MPE of identical vectors must be 0")
+	}
+	if NormalizedRMSE(g, g) != 0 {
+		t.Error("NRMSE of identical vectors must be 0")
+	}
+}
+
+func TestMPEKnownValues(t *testing.T) {
+	golden := []float64{100, 200}
+	approx := []float64{101, 190} // 1% and 5%
+	if got := MaxPercentError(approx, golden); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("MPE = %v, want 5", got)
+	}
+}
+
+func TestMPEZeroGoldenUsesRange(t *testing.T) {
+	golden := []float64{0, 10}
+	approx := []float64{1, 10} // |1-0|/range(10) = 10%
+	if got := MaxPercentError(approx, golden); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("MPE with zero golden = %v, want 10", got)
+	}
+}
+
+func TestNRMSEKnownValues(t *testing.T) {
+	golden := []float64{0, 10}
+	approx := []float64{1, 9} // rmse = 1, range = 10 → 10%
+	if got := NormalizedRMSE(approx, golden); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("NRMSE = %v, want 10", got)
+	}
+}
+
+func TestMeasureDispatch(t *testing.T) {
+	g := []float64{10, 20}
+	a := []float64{11, 20}
+	if Measure(MPE, a, g) != MaxPercentError(a, g) {
+		t.Error("Measure(MPE) mismatch")
+	}
+	if Measure(NRMSE, a, g) != NormalizedRMSE(a, g) {
+		t.Error("Measure(NRMSE) mismatch")
+	}
+	if MPE.String() != "MPE" || NRMSE.String() != "NRMSE" {
+		t.Error("metric names wrong")
+	}
+}
+
+func TestEmptyVectors(t *testing.T) {
+	if MaxPercentError(nil, nil) != 0 || NormalizedRMSE(nil, nil) != 0 {
+		t.Error("empty vectors must have zero error")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	MaxPercentError([]float64{1}, []float64{1, 2})
+}
+
+// Properties: errors are non-negative, zero iff identical (for nonzero
+// range), and scale-invariant for MPE.
+func TestErrorProperties(t *testing.T) {
+	f := func(vals []float64, perturb float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		g := make([]float64, len(vals))
+		a := make([]float64, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = 1
+			}
+			g[i] = v
+			a[i] = v
+		}
+		if MaxPercentError(a, g) != 0 || NormalizedRMSE(a, g) != 0 {
+			return false
+		}
+		p := math.Mod(math.Abs(perturb), 10) + 0.1
+		a[0] = g[0] + p
+		return MaxPercentError(a, g) > 0 && NormalizedRMSE(a, g) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

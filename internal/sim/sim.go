@@ -1,0 +1,118 @@
+// Package sim provides the deterministic discrete-event engine underlying
+// the Ghostwriter simulator.
+//
+// All hardware components (cache controllers, directories, the NoC, DRAM)
+// schedule work on a single Engine. Events fire in (cycle, insertion-order)
+// order, so a simulation is a pure function of its inputs: re-running a
+// configuration reproduces every cycle count and every byte of output.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	now  Cycle
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at cycle at. Scheduling in the past (at < Now) is a
+// programming error and panics: hardware cannot act before the present.
+func (e *Engine) At(at Cycle, fn Event) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.heap, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) { e.At(e.now+delay, fn) }
+
+// Pending reports the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return e.heap.Len() }
+
+// Step fires the next event, advancing the clock to its cycle. It reports
+// whether an event was fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	if e.heap.Len() == 0 {
+		return false
+	}
+	it := heap.Pop(&e.heap).(item)
+	e.now = it.at
+	it.fn()
+	return true
+}
+
+// RunTo fires every event scheduled at or before deadline, then advances
+// the clock to deadline. Events scheduled later stay queued. Use this to
+// let in-flight activity settle for a bounded window without chasing
+// periodic self-rescheduling events.
+func (e *Engine) RunTo(deadline Cycle) {
+	for e.heap.Len() > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// RunUntil fires events until the predicate returns true or the queue
+// drains. It returns true if the predicate was satisfied.
+func (e *Engine) RunUntil(done func() bool) bool {
+	for !done() {
+		if !e.Step() {
+			return done()
+		}
+	}
+	return true
+}
+
+// Drain fires events until the queue is empty, with a safety limit on the
+// number of events to guard against livelock in a buggy model. It returns
+// the number of events fired and whether the queue drained within the limit.
+func (e *Engine) Drain(limit uint64) (fired uint64, drained bool) {
+	for e.heap.Len() > 0 {
+		if fired >= limit {
+			return fired, false
+		}
+		e.Step()
+		fired++
+	}
+	return fired, true
+}

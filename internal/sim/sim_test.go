@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(5, func() { got = append(got, 5) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	e.Drain(100)
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestFIFOWithinCycle(t *testing.T) {
+	// Events at the same cycle fire in insertion order.
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Drain(100)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle order %v not FIFO", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var trace []Cycle
+	e.At(2, func() {
+		trace = append(trace, e.Now())
+		e.After(3, func() { trace = append(trace, e.Now()) })
+	})
+	e.Drain(100)
+	if len(trace) != 2 || trace[0] != 2 || trace[1] != 5 {
+		t.Fatalf("trace = %v, want [2 5]", trace)
+	}
+}
+
+func TestPastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(3, func() {})
+	})
+	e.Drain(100)
+}
+
+func TestDrainLimit(t *testing.T) {
+	var e Engine
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.At(0, reschedule)
+	fired, drained := e.Drain(50)
+	if drained {
+		t.Error("self-rescheduling queue reported drained")
+	}
+	if fired != 50 {
+		t.Errorf("fired = %d, want 50", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	hits := 0
+	for i := Cycle(1); i <= 10; i++ {
+		e.At(i, func() { hits++ })
+	}
+	ok := e.RunUntil(func() bool { return hits == 4 })
+	if !ok || hits != 4 {
+		t.Fatalf("RunUntil stopped at hits=%d ok=%v", hits, ok)
+	}
+	ok = e.RunUntil(func() bool { return hits == 100 })
+	if ok || hits != 10 {
+		t.Fatalf("RunUntil on drained queue: hits=%d ok=%v", hits, ok)
+	}
+}
+
+// Property: for any random schedule, events fire in nondecreasing cycle
+// order and the engine clock equals the last event's cycle.
+func TestScheduleProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		times := make([]Cycle, n)
+		var fired []Cycle
+		for i := 0; i < n; i++ {
+			times[i] = Cycle(rng.Intn(100))
+			at := times[i]
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Drain(uint64(n) + 1)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(fired) != n {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunTo(t *testing.T) {
+	var e Engine
+	fired := []Cycle{}
+	// A periodic self-rescheduling event plus two one-shots.
+	var periodic func()
+	periodic = func() { fired = append(fired, e.Now()); e.After(100, periodic) }
+	e.At(100, periodic)
+	e.At(5, func() { fired = append(fired, e.Now()) })
+	e.At(42, func() { fired = append(fired, e.Now()) })
+	e.RunTo(50)
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 42 {
+		t.Fatalf("fired %v, want [5 42]", fired)
+	}
+	// The periodic event is still queued, untouched.
+	e.RunTo(250)
+	if len(fired) != 4 || fired[2] != 100 || fired[3] != 200 {
+		t.Fatalf("fired %v, want two periodic firings", fired)
+	}
+	// RunTo into the past is a no-op on the clock.
+	e.RunTo(10)
+	if e.Now() != 250 {
+		t.Fatal("RunTo moved the clock backwards")
+	}
+}

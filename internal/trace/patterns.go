@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"math/rand"
+
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/mem"
+)
+
+// PatternConfig parametrizes the synthetic sharing-pattern generators.
+type PatternConfig struct {
+	Threads int
+	// Rounds is the number of per-thread access rounds.
+	Rounds int
+	// Base is the shared block's base address (block-aligned).
+	Base mem.Addr
+	// DDist programs the scribe for scribble variants (< 0: plain stores).
+	DDist int
+	// Gap is the compute spacing between rounds.
+	Gap uint32
+	// Scribble emits approximate stores instead of conventional ones.
+	Scribble bool
+}
+
+// storeKind picks the configured store flavour.
+func (c PatternConfig) storeKind() coherence.OpKind {
+	if c.Scribble {
+		return coherence.OpScribble
+	}
+	return coherence.OpStore
+}
+
+// Migratory generates the Fig. 4 pattern: every thread repeatedly loads and
+// then stores its own word of one shared cache block, so the block migrates
+// between caches on every round.
+func Migratory(c PatternConfig) *Trace {
+	t := &Trace{Threads: make([][]Op, c.Threads)}
+	for id := 0; id < c.Threads; id++ {
+		ops := []Op{{DDist: int8(c.DDist), Width: 0}}
+		addr := c.Base + mem.Addr(4*id)
+		for r := 0; r < c.Rounds; r++ {
+			ops = append(ops,
+				Op{Kind: coherence.OpLoad, Addr: addr, Width: 4, Gap: c.Gap, DDist: NoDistChange},
+				Op{Kind: c.storeKind(), Addr: addr, Width: 4, Value: uint64(r), DDist: NoDistChange},
+			)
+		}
+		t.Threads[id] = ops
+	}
+	return t
+}
+
+// ProducerConsumer generates the Fig. 5 pattern: thread 0 stores a value
+// each round, every other thread loads it.
+func ProducerConsumer(c PatternConfig) *Trace {
+	t := &Trace{Threads: make([][]Op, c.Threads)}
+	for id := 0; id < c.Threads; id++ {
+		ops := []Op{{DDist: int8(c.DDist), Width: 0}}
+		for r := 0; r < c.Rounds; r++ {
+			if id == 0 {
+				ops = append(ops, Op{
+					Kind: c.storeKind(), Addr: c.Base, Width: 4,
+					Value: uint64(r), Gap: c.Gap, DDist: NoDistChange,
+				})
+			} else {
+				ops = append(ops, Op{
+					Kind: coherence.OpLoad, Addr: c.Base, Width: 4,
+					Gap: c.Gap, DDist: NoDistChange,
+				})
+			}
+		}
+		t.Threads[id] = ops
+	}
+	return t
+}
+
+// Random generates seeded uniform traffic over span bytes: a protocol
+// fuzzing workload.
+func Random(c PatternConfig, seed int64, spanBytes int) *Trace {
+	t := &Trace{Threads: make([][]Op, c.Threads)}
+	for id := 0; id < c.Threads; id++ {
+		r := rand.New(rand.NewSource(seed + int64(id)))
+		ops := []Op{{DDist: int8(c.DDist), Width: 0}}
+		for k := 0; k < c.Rounds; k++ {
+			addr := c.Base + mem.Addr(4*(r.Intn(spanBytes/4)))
+			switch r.Intn(3) {
+			case 0:
+				ops = append(ops, Op{Kind: coherence.OpLoad, Addr: addr, Width: 4, DDist: NoDistChange})
+			case 1:
+				ops = append(ops, Op{
+					Kind: coherence.OpStore, Addr: addr, Width: 4,
+					Value: uint64(r.Intn(1 << 12)), DDist: NoDistChange,
+				})
+			default:
+				ops = append(ops, Op{
+					Kind: c.storeKind(), Addr: addr, Width: 4,
+					Value: uint64(r.Intn(1 << 12)), DDist: NoDistChange,
+				})
+			}
+		}
+		t.Threads[id] = ops
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	ghostwriter "ghostwriter"
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/mem"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Migratory(PatternConfig{Threads: 3, Rounds: 5, Base: 0x1000, DDist: 4, Gap: 7, Scribble: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumThreads() != orig.NumThreads() || got.Ops() != orig.Ops() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			got.NumThreads(), got.Ops(), orig.NumThreads(), orig.Ops())
+	}
+	for i := range orig.Threads {
+		for j := range orig.Threads[i] {
+			if got.Threads[i][j] != orig.Threads[i][j] {
+				t.Fatalf("op [%d][%d] = %+v, want %+v", i, j, got.Threads[i][j], orig.Threads[i][j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestMigratoryReplayMatchesPaperDynamics replays the Fig. 4 trace on the
+// real machine under both protocols and checks the headline effect:
+// Ghostwriter reduces traffic for migratory false sharing.
+func TestMigratoryReplayMatchesPaperDynamics(t *testing.T) {
+	run := func(gw bool) uint64 {
+		cfg := ghostwriter.Config{}
+		if gw {
+			cfg.Protocol = ghostwriter.Ghostwriter
+		}
+		sys := ghostwriter.New(cfg)
+		base := sys.AllocPadded(64)
+		tr := Migratory(PatternConfig{
+			Threads: 4, Rounds: 100, Base: base, DDist: 8, Scribble: true,
+		})
+		sys.Run(tr.NumThreads(), tr.Kernel())
+		return sys.Stats().TotalMsgs()
+	}
+	baseMsgs := run(false)
+	gwMsgs := run(true)
+	if gwMsgs >= baseMsgs {
+		t.Fatalf("ghostwriter replay traffic %d not below baseline %d", gwMsgs, baseMsgs)
+	}
+}
+
+// TestProducerConsumerReplay checks the generator shape and that consumers
+// observe produced values under the baseline protocol.
+func TestProducerConsumerReplay(t *testing.T) {
+	sys := ghostwriter.New(ghostwriter.Config{})
+	base := sys.AllocPadded(64)
+	tr := ProducerConsumer(PatternConfig{Threads: 3, Rounds: 50, Base: base, DDist: -1, Gap: 20})
+	sys.Run(tr.NumThreads(), tr.Kernel())
+	if got := sys.ReadCoherent32(base); got != 49 {
+		t.Fatalf("final produced value %d, want 49", got)
+	}
+	if sys.Stats().Loads == 0 || sys.Stats().Stores == 0 {
+		t.Fatal("replay issued no traffic")
+	}
+}
+
+// TestRandomReplayInvariants fuzzes the protocol through the trace frontend.
+func TestRandomReplayInvariants(t *testing.T) {
+	for _, gw := range []bool{false, true} {
+		cfg := ghostwriter.Config{}
+		if gw {
+			cfg.Protocol = ghostwriter.Ghostwriter
+		}
+		sys := ghostwriter.New(cfg)
+		base := sys.AllocPadded(512)
+		tr := Random(PatternConfig{Threads: 8, Rounds: 300, Base: base, DDist: 4, Scribble: true},
+			1234, 512)
+		sys.Run(tr.NumThreads(), tr.Kernel())
+		if err := sys.CheckInvariants(!gw); err != nil {
+			t.Fatalf("gw=%v: %v", gw, err)
+		}
+	}
+}
+
+func TestKernelIgnoresExtraThreads(t *testing.T) {
+	sys := ghostwriter.New(ghostwriter.Config{})
+	base := sys.AllocPadded(64)
+	tr := &Trace{Threads: [][]Op{{
+		{Kind: coherence.OpStore, Addr: base, Width: 4, Value: 7, DDist: NoDistChange},
+	}}}
+	// Run with more threads than the trace has streams: extras just exit.
+	sys.Run(4, tr.Kernel())
+	if sys.ReadCoherent32(mem.Addr(base)) != 7 {
+		t.Fatal("single-stream trace not replayed")
+	}
+}
+
+func TestAllWidthsReplay(t *testing.T) {
+	sys := ghostwriter.New(ghostwriter.Config{})
+	base := sys.AllocPadded(64)
+	tr := &Trace{Threads: [][]Op{{
+		{Kind: coherence.OpStore, Addr: base, Width: 1, Value: 0x11, DDist: NoDistChange},
+		{Kind: coherence.OpStore, Addr: base + 2, Width: 2, Value: 0x2222, DDist: NoDistChange},
+		{Kind: coherence.OpStore, Addr: base + 4, Width: 4, Value: 0x33333333, DDist: NoDistChange},
+		{Kind: coherence.OpStore, Addr: base + 8, Width: 8, Value: 0x4444444444444444, DDist: NoDistChange},
+		{Kind: coherence.OpLoad, Addr: base, Width: 1, DDist: NoDistChange},
+		{Kind: coherence.OpLoad, Addr: base + 2, Width: 2, DDist: NoDistChange},
+		{Kind: coherence.OpLoad, Addr: base + 4, Width: 4, DDist: NoDistChange},
+		{Kind: coherence.OpLoad, Addr: base + 8, Width: 8, DDist: NoDistChange},
+		{Kind: coherence.OpScribble, Addr: base, Width: 1, Value: 0x12, DDist: 4},
+		{Kind: coherence.OpScribble, Addr: base + 2, Width: 2, Value: 0x2223, DDist: NoDistChange},
+		{Kind: coherence.OpScribble, Addr: base + 4, Width: 4, Value: 0x33333334, DDist: NoDistChange},
+		{Kind: coherence.OpScribble, Addr: base + 8, Width: 8, Value: 0x4444444444444445, DDist: NoDistChange},
+	}}}
+	sys.Run(1, tr.Kernel())
+	if got := sys.ReadCoherent(base+8, 8); got != 0x4444444444444445 {
+		t.Fatalf("wide replay lost: %#x", got)
+	}
+}

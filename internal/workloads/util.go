@@ -1,0 +1,28 @@
+package workloads
+
+import "math/rand"
+
+// span returns the contiguous [lo, hi) slice of n items assigned to thread
+// id out of nthreads (the pthreads/OpenMP static schedule the paper's
+// benchmarks use).
+func span(n, id, nthreads int) (lo, hi int) {
+	per := n / nthreads
+	rem := n % nthreads
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rng returns the deterministic input generator for an app; every input in
+// the repository derives from a named seed so runs are reproducible.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,18 @@
+package ghostwriter
+
+// WithApprox runs fn with the calling thread's scribe comparator programmed
+// to d, restoring the previous setting afterwards — the library-level form
+// of the paper's approx_begin/approx_dist/approx_end pragma pairing
+// (Listing 3). Nesting works: inner regions may tighten or loosen d, and
+// each endaprx restores the enclosing region's setting.
+//
+//	ghostwriter.WithApprox(t, 4, func() {
+//	    for i := range work { t.Scribble32(out.Addr(i), compute(i)) }
+//	})
+//	t.Store32(result, total) // precise: outside the region
+func WithApprox(t *Thread, d int, fn func()) {
+	prev := t.ApproxDist()
+	t.SetApproxDist(d)
+	fn()
+	t.SetApproxDist(prev)
+}
