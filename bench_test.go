@@ -70,19 +70,72 @@ func BenchmarkFig02_ValueSimilarityCDF(b *testing.B) {
 }
 
 // runSuite memoizes the (deterministic) suite runs within one benchmark
-// process so Figs. 7-11 don't redo identical simulations.
+// process so Figs. 7-11 don't redo identical simulations. The suite grid
+// itself fans out across all CPUs on the harness Runner.
 var suiteCache []harness.SuiteResult
 
 func suiteResults(b *testing.B) []harness.SuiteResult {
 	b.Helper()
 	if suiteCache == nil {
-		s, err := harness.RunSuite(benchOptions())
+		s, err := harness.NewRunner(0).RunSuite(benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
 		suiteCache = s
 	}
 	return suiteCache
+}
+
+// BenchmarkSweep_SerialRunner measures the full Table 2 suite grid (6 apps
+// × d ∈ {0,4,8}) on a single worker — the pre-runner execution model and
+// the baseline for the parallel speedup.
+func BenchmarkSweep_SerialRunner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.NewRunner(1).RunSuite(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_ParallelRunner measures the same grid fanned out across
+// all CPUs. Results are byte-identical to the serial run (the determinism
+// battery in internal/harness asserts this); only the wall clock changes.
+func BenchmarkSweep_ParallelRunner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.NewRunner(0).RunSuite(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_WarmCache measures re-running the suite grid against a
+// warm on-disk result cache: every cell must be served without simulating.
+func BenchmarkSweep_WarmCache(b *testing.B) {
+	dir := b.TempDir()
+	prime, err := harness.OpenCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := harness.NewRunner(0)
+	r.Cache = prime
+	if _, err := r.RunSuite(benchOptions()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := harness.OpenCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := harness.NewRunner(0)
+		warm.Cache = c
+		if _, err := warm.RunSuite(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+		if warm.Simulated() != 0 {
+			b.Fatalf("warm cache still simulated %d cells", warm.Simulated())
+		}
+	}
 }
 
 // BenchmarkFig07_ApproxStateUtilization regenerates Fig. 7: the share of

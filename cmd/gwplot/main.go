@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"ghostwriter/internal/harness"
 	"ghostwriter/internal/plot"
@@ -99,4 +100,33 @@ func render(rep *harness.Report) {
 	plot.HBar(w, plot.Config{Title: "Fig. 12a — GI utilization vs timeout (bad_dot_product, d=4)", Unit: "%"}, giUtil)
 	fmt.Fprintln(w)
 	plot.HBar(w, plot.Config{Title: "Fig. 12b — output error vs timeout", Unit: "%"}, giErr)
+
+	renderTiming(w, rep)
+}
+
+// renderTiming charts the sweep-cost fields of the report: total wall
+// clock, the simulated/cached split, and the slowest cells (reports from
+// older gwsweep builds carry no timing section and are skipped).
+func renderTiming(w *os.File, rep *harness.Report) {
+	t := rep.Timing
+	if t == nil {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Sweep cost — %.0f ms wall clock on %d workers (%d cells simulated, %d from cache)\n",
+		t.WallMS, rep.Jobs, t.Simulated, t.CacheHits)
+	cells := append([]harness.CellTiming(nil), t.Cells...)
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].MS > cells[j].MS })
+	if len(cells) > 10 {
+		cells = cells[:10]
+	}
+	var bars []plot.Bar
+	for _, c := range cells {
+		label := c.Label
+		if c.Cached {
+			label += " (cached)"
+		}
+		bars = append(bars, plot.Bar{Label: label, Value: c.MS})
+	}
+	plot.HBar(w, plot.Config{Title: "Slowest cells", Unit: "ms"}, bars)
 }

@@ -2,9 +2,17 @@
 // table of §4, printed as the data series the paper plots. Use -exp to
 // select one experiment or "all" (the default) for the whole evaluation.
 //
+// Cells run in parallel on a bounded worker pool (-jobs) and completed
+// cells are stored in a content-addressed on-disk cache (-cache, disable
+// with -nocache), so re-running a sweep only simulates cells whose
+// configuration changed. Results are independent of -jobs: every simulation
+// is a pure function of its configuration and results are reassembled in
+// grid order.
+//
 //	gwsweep                       # everything, paper configuration
 //	gwsweep -exp fig9 -threads 24 # one figure
 //	gwsweep -scale 4              # larger inputs (slower, tighter shapes)
+//	gwsweep -jobs 4 -nocache      # bounded parallelism, no result cache
 package main
 
 import (
@@ -20,25 +28,50 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|tab1|tab2|ext|trend")
 		scale    = flag.Int("scale", 1, "input scale factor")
 		threads  = flag.Int("threads", 24, "worker threads")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
+		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
+		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
+		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
 		jsonPath = flag.String("json", "", "also write the full evaluation as JSON to this file")
 	)
 	flag.Parse()
 	opt := harness.Options{Scale: *scale, Threads: *threads}
-	if err := run(*exp, opt); err != nil {
+
+	r := harness.NewRunner(*jobs)
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+	if !*noCache {
+		c, err := harness.OpenCache(*cacheDir)
+		if err != nil {
+			// An unwritable cache dir degrades to an uncached sweep.
+			fmt.Fprintln(os.Stderr, "gwsweep: cache disabled:", err)
+		} else {
+			r.Cache = c
+		}
+	}
+
+	if err := run(r, *exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gwsweep:", err)
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, opt); err != nil {
+		if err := writeJSON(r, *jsonPath, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "gwsweep:", err)
 			os.Exit(1)
 		}
 	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "gwsweep: %d cells simulated, %d served from cache\n",
+			r.Simulated(), r.CacheHits())
+	}
 }
 
-// writeJSON runs the full evaluation once more and dumps it for plotting.
-func writeJSON(path string, opt harness.Options) error {
-	rep, err := harness.BuildReport(opt)
+// writeJSON dumps the full evaluation for plotting. The runner's in-process
+// memo and disk cache mean every cell already resolved by run is reused
+// here instead of being simulated a second time.
+func writeJSON(r *harness.Runner, path string, opt harness.Options) error {
+	rep, err := r.BuildReport(opt)
 	if err != nil {
 		return err
 	}
@@ -54,7 +87,7 @@ func writeJSON(path string, opt harness.Options) error {
 	return nil
 }
 
-func run(exp string, opt harness.Options) error {
+func run(r *harness.Runner, exp string, opt harness.Options) error {
 	w := os.Stdout
 	needSuite := false
 	switch exp {
@@ -71,19 +104,19 @@ func run(exp string, opt harness.Options) error {
 		fmt.Fprintln(w)
 	}
 	if exp == "all" || exp == "fig1" {
-		if _, err := harness.Fig1(w, opt); err != nil {
+		if _, err := r.Fig1(w, opt); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if exp == "all" || exp == "fig2" {
-		if _, err := harness.Fig2(w, opt); err != nil {
+		if _, err := r.Fig2(w, opt); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if needSuite {
-		suite, err := harness.RunSuite(opt)
+		suite, err := r.RunSuite(opt)
 		if err != nil {
 			return err
 		}
@@ -109,19 +142,19 @@ func run(exp string, opt harness.Options) error {
 		}
 	}
 	if exp == "all" || exp == "fig12" {
-		if _, err := harness.Fig12(w, opt); err != nil {
+		if _, err := r.Fig12(w, opt); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if exp == "all" || exp == "ext" {
-		if _, err := harness.Extensions(w, opt); err != nil {
+		if _, err := r.Extensions(w, opt); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if exp == "trend" {
-		if _, err := harness.ScaleTrend(w, opt, []int{1, 2, 4}); err != nil {
+		if _, err := r.ScaleTrend(w, opt, []int{1, 2, 4}); err != nil {
 			return err
 		}
 	}

@@ -133,24 +133,33 @@ type System struct {
 	cfg Config
 }
 
+// MachineConfig returns the machine-level configuration New builds for c:
+// the paper's Table 1 defaults with c's overrides applied. It is exposed so
+// callers (notably the evaluation harness) can identify the exact simulated
+// machine — e.g. to derive content-addressed result-cache keys — without
+// constructing a System.
+func (c Config) MachineConfig() machine.Config {
+	mc := machine.DefaultConfig()
+	if c.Cores > 0 {
+		mc.Cores = c.Cores
+	}
+	if c.GITimeout > 0 {
+		mc.GITimeout = sim.Cycle(c.GITimeout)
+	}
+	mc.Ghostwriter = c.Protocol == Ghostwriter
+	mc.Policy = c.Policy
+	mc.ErrorBound = c.ErrorBound
+	mc.MSI = c.MSI
+	mc.MigratoryOpt = c.MigratoryOpt
+	mc.AdaptiveGITimeout = c.AdaptiveGITimeout
+	mc.StaleLoads = c.StaleLoads
+	mc.ProfileSimilarity = c.ProfileSimilarity
+	return mc
+}
+
 // New builds a system.
 func New(cfg Config) *System {
-	mc := machine.DefaultConfig()
-	if cfg.Cores > 0 {
-		mc.Cores = cfg.Cores
-	}
-	if cfg.GITimeout > 0 {
-		mc.GITimeout = sim.Cycle(cfg.GITimeout)
-	}
-	mc.Ghostwriter = cfg.Protocol == Ghostwriter
-	mc.Policy = cfg.Policy
-	mc.ErrorBound = cfg.ErrorBound
-	mc.MSI = cfg.MSI
-	mc.MigratoryOpt = cfg.MigratoryOpt
-	mc.AdaptiveGITimeout = cfg.AdaptiveGITimeout
-	mc.StaleLoads = cfg.StaleLoads
-	mc.ProfileSimilarity = cfg.ProfileSimilarity
-	return &System{m: machine.New(mc), cfg: cfg}
+	return &System{m: machine.New(cfg.MachineConfig()), cfg: cfg}
 }
 
 // Cores returns the simulated core count.

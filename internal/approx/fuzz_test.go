@@ -1,0 +1,89 @@
+package approx
+
+import "testing"
+
+// refWithin is an independent bit-twiddling reference for the scribe
+// comparator: walk every bit position at or above d and require agreement.
+// Deliberately structured nothing like the production mask-and-shift.
+func refWithin(a, b uint64, w Width, d int) bool {
+	if d < 0 {
+		return false
+	}
+	for i := d; i < int(w); i++ {
+		if (a>>uint(i))&1 != (b>>uint(i))&1 {
+			return false
+		}
+	}
+	return true
+}
+
+// refDistance is the loop form of Distance: the highest disagreeing bit
+// position below w, plus one.
+func refDistance(a, b uint64, w Width) int {
+	for i := int(w) - 1; i >= 0; i-- {
+		if (a>>uint(i))&1 != (b>>uint(i))&1 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// FuzzSimilar fuzzes the d-distance comparator against its algebraic laws
+// and the reference implementation. The comparator decides which stores the
+// protocol silently absorbs, so a disagreement here is a correctness bug in
+// every simulated result.
+func FuzzSimilar(f *testing.F) {
+	// The package-doc example (121 vs 125 at 3-distance), sign-bit
+	// extremes, and width boundaries.
+	f.Add(uint64(121), uint64(125), uint8(2), 3)
+	f.Add(uint64(0), ^uint64(0), uint8(3), 63)
+	f.Add(uint64(0x80), uint64(0), uint8(0), 7)
+	f.Add(uint64(1)<<63, uint64(0), uint8(3), 64)
+	f.Add(uint64(42), uint64(42), uint8(1), 0)
+	f.Add(uint64(7), uint64(8), uint8(0), -1)
+	widths := []Width{W8, W16, W32, W64}
+	f.Fuzz(func(t *testing.T, a, b uint64, wsel uint8, d int) {
+		w := widths[int(wsel)%len(widths)]
+		// Values beyond |w|+small add no new behaviour; keep d small enough
+		// that d+1 cannot overflow. Negative d must stay negative.
+		if d > 130 || d < -130 {
+			d %= 131
+		}
+
+		got := Within(a, b, w, d)
+		if ref := refWithin(a, b, w, d); got != ref {
+			t.Fatalf("Within(%#x, %#x, %d, %d) = %v, reference says %v", a, b, w, d, got, ref)
+		}
+		if sym := Within(b, a, w, d); got != sym {
+			t.Fatalf("Within not symmetric at (%#x, %#x, %d, %d): %v vs %v", a, b, w, d, got, sym)
+		}
+		if got && !Within(a, b, w, d+1) {
+			t.Fatalf("Within not monotone: holds at d=%d but not d=%d (%#x, %#x, w=%d)", d, d+1, a, b, w)
+		}
+		if d >= 0 && !Within(a, a, w, d) {
+			t.Fatalf("Within not reflexive at (%#x, w=%d, d=%d)", a, w, d)
+		}
+		if d >= int(w) && !got {
+			t.Fatalf("d=%d >= width %d must always match", d, w)
+		}
+
+		dist := Distance(a, b, w)
+		if ref := refDistance(a, b, w); dist != ref {
+			t.Fatalf("Distance(%#x, %#x, %d) = %d, reference says %d", a, b, w, dist, ref)
+		}
+		if dist < 0 || dist > int(w) {
+			t.Fatalf("Distance(%#x, %#x, %d) = %d out of [0, %d]", a, b, w, dist, w)
+		}
+		if Distance(b, a, w) != dist {
+			t.Fatalf("Distance not symmetric for (%#x, %#x, %d)", a, b, w)
+		}
+		if Distance(a, a, w) != 0 {
+			t.Fatalf("Distance(%#x, %#x) != 0", a, a)
+		}
+		// The two APIs must agree: a and b are within d exactly when the
+		// distance is at most d (for usable, non-negative d).
+		if d >= 0 && got != (dist <= d) {
+			t.Fatalf("Within(%#x, %#x, %d, %d)=%v disagrees with Distance=%d", a, b, w, d, got, dist)
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package harness
 
-import "fmt"
+import (
+	"fmt"
+
+	ghostwriter "ghostwriter"
+)
 
 // autoTuneCandidates are the d-distances the tuner sweeps, in increasing
 // aggressiveness.
@@ -15,18 +19,32 @@ var autoTuneCandidates = []int{1, 2, 3, 4, 6, 8, 10, 12}
 // This is profile-guided tuning: the chosen d is only as good as the
 // profiling input's representativeness, exactly as the paper cautions.
 func AutoTune(name string, opt Options, targetPct float64) (int, []RunResult, error) {
+	return NewRunner(0).AutoTune(name, opt, targetPct)
+}
+
+// AutoTune is AutoTune on this Runner: the candidate sweep fans out across
+// the worker pool (the candidates are independent cells), then the winner
+// is selected in candidate order.
+func (r *Runner) AutoTune(name string, opt Options, targetPct float64) (int, []RunResult, error) {
 	if targetPct < 0 {
 		return 0, nil, fmt.Errorf("harness: negative error target %v", targetPct)
 	}
-	best := 0
-	var runs []RunResult
+	jobs := make([]Job, 0, len(autoTuneCandidates))
 	for _, d := range autoTuneCandidates {
-		r, err := RunApp(name, opt, d, false)
-		if err != nil {
-			return 0, nil, err
-		}
-		runs = append(runs, r)
-		if r.ErrorPct <= targetPct {
+		jobs = append(jobs, Job{
+			Label: fmt.Sprintf("autotune %s d=%d", name, d),
+			Spec:  specFor(name, opt, d, false, ghostwriter.PolicyHybrid),
+		})
+	}
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
+		return 0, nil, err
+	}
+	best := 0
+	runs := make([]RunResult, 0, len(cells))
+	for i, d := range autoTuneCandidates {
+		runs = append(runs, cells[i].Result)
+		if cells[i].Result.ErrorPct <= targetPct {
 			best = d
 		}
 	}

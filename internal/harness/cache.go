@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// DefaultCacheDir is where gwsweep and the benchmarks keep cached cells.
+const DefaultCacheDir = ".gwcache"
+
+// Cache is the content-addressed on-disk result store. Each entry is one
+// RunResult serialized as JSON under
+//
+//	<dir>/<key[:2]>/<key>.json
+//
+// where key is Spec.Key() — a SHA-256 over the code version, the workload
+// spec, and the full machine configuration. There is no invalidation logic:
+// a cell that would simulate differently necessarily has a different key
+// (codeVersion covers code changes), so stale entries are simply never read
+// again. Deleting the directory is always safe.
+//
+// A Cache is safe for concurrent use by the Runner's workers: writes go
+// through a temp file plus rename, so readers never observe partial JSON.
+type Cache struct {
+	dir                string
+	hits, misses, puts atomic.Uint64
+}
+
+// OpenCache opens (creating if needed) the cache rooted at dir; an empty
+// dir selects DefaultCacheDir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for key, if present and readable.
+func (c *Cache) Get(key string) (*RunResult, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var r RunResult
+	if err := json.Unmarshal(b, &r); err != nil {
+		// Corrupt entry (interrupted writer, manual edit): drop it and let
+		// the caller resimulate.
+		_ = os.Remove(c.path(key))
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return &r, true
+}
+
+// Put stores r under key, atomically.
+func (c *Cache) Put(key string, r *RunResult) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// CacheStats is a point-in-time snapshot of cache activity.
+type CacheStats struct {
+	Hits, Misses, Puts uint64
+}
+
+// Stats returns the cache's activity counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load()}
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	ghostwriter "ghostwriter"
+)
+
+// perturbLeaves walks every leaf field reachable from v (a pointer to a
+// struct), mutates it, calls visit with the field's path, and restores it.
+// It fails the test on any field kind it cannot perturb, so adding a field
+// of a new kind to machine.Config forces this battery to learn about it.
+func perturbLeaves(t *testing.T, v reflect.Value, path string, visit func(path string)) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Pointer:
+		perturbLeaves(t, v.Elem(), path, visit)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			if !f.IsExported() {
+				t.Fatalf("%s.%s: unexported field would silently escape the cache key", path, f.Name)
+			}
+			perturbLeaves(t, v.Field(i), path+"."+f.Name, visit)
+		}
+	case reflect.Slice:
+		if v.Len() == 0 {
+			old := v.Interface()
+			v.Set(reflect.MakeSlice(v.Type(), 1, 1))
+			visit(path)
+			v.Set(reflect.ValueOf(old))
+			return
+		}
+		perturbLeaves(t, v.Index(0), path+"[0]", visit)
+	case reflect.Bool:
+		old := v.Bool()
+		v.SetBool(!old)
+		visit(path)
+		v.SetBool(old)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		old := v.Int()
+		v.SetInt(old + 1)
+		visit(path)
+		v.SetInt(old)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		old := v.Uint()
+		v.SetUint(old + 1)
+		visit(path)
+		v.SetUint(old)
+	case reflect.Float32, reflect.Float64:
+		old := v.Float()
+		v.SetFloat(old + 1)
+		visit(path)
+		v.SetFloat(old)
+	case reflect.String:
+		old := v.String()
+		v.SetString(old + "x")
+		visit(path)
+		v.SetString(old)
+	default:
+		t.Fatalf("%s: kind %s not supported by the cache-key litmus walker — teach perturbLeaves about it", path, v.Kind())
+	}
+}
+
+// TestCacheKeyMachineFieldSensitivity is the cache-key litmus battery:
+// changing any single machine.Config field — nested ones included — must
+// change the cache hash, or stale results would be served for a different
+// machine. The reflective walk means a field added to machine.Config is
+// covered automatically.
+func TestCacheKeyMachineFieldSensitivity(t *testing.T) {
+	spec := specFor("histogram", Options{Scale: 1, Threads: 8}, 4, false, ghostwriter.PolicyHybrid)
+	base := spec.effective().MachineConfig()
+	baseKey := hashKey(codeVersion, spec, base)
+	leaves := 0
+	mc := base
+	perturbLeaves(t, reflect.ValueOf(&mc), "Config", func(path string) {
+		leaves++
+		if got := hashKey(codeVersion, spec, mc); got == baseKey {
+			t.Errorf("%s: perturbing the field left the cache key unchanged — the field is missing from the key", path)
+		}
+	})
+	// machine.Config currently has ~25 leaf fields; a collapse of the walk
+	// (e.g. an accidental early return) must not pass silently.
+	if leaves < 20 {
+		t.Fatalf("litmus walk covered only %d leaves of machine.Config", leaves)
+	}
+	if got := hashKey(codeVersion, spec, mc); got != baseKey {
+		t.Fatal("walker failed to restore the config between perturbations")
+	}
+}
+
+// TestCacheKeySpecFieldSensitivity applies the same litmus to the workload
+// half of the key: every Spec field (App, Scale, Threads, DDist, Profile,
+// and each ghostwriter.Config knob) must reach the hash.
+func TestCacheKeySpecFieldSensitivity(t *testing.T) {
+	spec := specFor("histogram", Options{Scale: 1, Threads: 8}, 4, false, ghostwriter.PolicyHybrid)
+	baseKey := spec.Key()
+	leaves := 0
+	s := spec
+	perturbLeaves(t, reflect.ValueOf(&s), "Spec", func(path string) {
+		leaves++
+		if got := s.Key(); got == baseKey {
+			t.Errorf("%s: perturbing the field left the cache key unchanged", path)
+		}
+	})
+	if leaves < 10 {
+		t.Fatalf("litmus walk covered only %d leaves of Spec", leaves)
+	}
+	if s.Key() != baseKey {
+		t.Fatal("walker failed to restore the spec between perturbations")
+	}
+}
+
+// TestCacheKeyCodeVersion: bumping codeVersion must invalidate everything.
+func TestCacheKeyCodeVersion(t *testing.T) {
+	spec := specFor("histogram", Options{Scale: 1, Threads: 8}, 0, false, ghostwriter.PolicyHybrid)
+	mc := spec.effective().MachineConfig()
+	if hashKey(codeVersion, spec, mc) == hashKey(codeVersion+"x", spec, mc) {
+		t.Fatal("code version does not reach the cache key")
+	}
+}
+
+// goldenKeys pins the exact hashes of three representative cells. If this
+// test fails you changed the key derivation — a Spec or machine.Config
+// field, the JSON encoding, or the hash itself. That silently orphans every
+// existing cache entry (safe) but, much worse, it can mean a key field was
+// REMOVED, which would let different configurations collide. Verify the
+// change is deliberate, confirm the field-sensitivity tests still pass, and
+// update the hashes (printed on failure).
+var goldenKeys = []struct {
+	name string
+	spec func() Spec
+	want string
+}{
+	{
+		name: "histogram-baseline-t24",
+		spec: func() Spec {
+			return specFor("histogram", Options{Scale: 1, Threads: 24}, 0, false, ghostwriter.PolicyHybrid)
+		},
+		want: "79acf36d3390f1e45c5fcc2f77bc7222d70a6fe0c9aceaaa62339336a5ba5a68",
+	},
+	{
+		name: "linear_regression-d8-t24",
+		spec: func() Spec {
+			return specFor("linear_regression", Options{Scale: 1, Threads: 24}, 8, false, ghostwriter.PolicyHybrid)
+		},
+		want: "76ca1e1d16cf6b2edf4c7f9840a7c114f4dd882bcea870797c9a99d3298e3877",
+	},
+	{
+		name: "bad_dot_product-d4-timeout512",
+		spec: func() Spec {
+			s := specFor("bad_dot_product", Options{Scale: 1, Threads: 24}, 4, false, ghostwriter.PolicyHybrid)
+			s.Config.GITimeout = 512
+			return s
+		},
+		want: "137dc671b0ea65f04ad756559a8cd47c3aec46669ea400fb5bab5b737f0d48eb",
+	},
+}
+
+func TestCacheKeyGolden(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range goldenKeys {
+		got := g.spec().Key()
+		if got != g.want {
+			t.Errorf("%s: key %s, golden %s — key derivation changed; see goldenKeys comment", g.name, got, g.want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s", g.name, prev)
+		}
+		seen[got] = g.name
+	}
+}

@@ -5,12 +5,12 @@ import (
 	"io"
 
 	ghostwriter "ghostwriter"
-	"ghostwriter/internal/quality"
 	"ghostwriter/internal/stats"
 	"ghostwriter/internal/workloads"
 )
 
-// fig1Threads is the thread-count sweep of Fig. 1.
+// fig1Threads is the thread-count sweep of Fig. 1. The first entry must be
+// 1: it doubles as the per-kernel speedup baseline.
 var fig1Threads = []int{1, 2, 4, 8, 16, 24}
 
 // Fig1Point is one point of the Fig. 1 speedup curves.
@@ -25,32 +25,35 @@ type Fig1Point struct {
 // Fig1 reproduces Fig. 1: speedup of the naive (Listing 1) and privatized
 // (Listing 2) dot products vs thread count under baseline MESI.
 func Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
-	run := func(name string, threads int) (uint64, error) {
-		o := opt
-		o.Threads = threads
-		r, err := RunApp(name, o, 0, false)
-		return r.Cycles, err
+	return NewRunner(0).Fig1(w, opt)
+}
+
+// Fig1 is Fig1 on this Runner: the (kernel × thread-count) grid runs on the
+// worker pool, then the table prints in sweep order.
+func (r *Runner) Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
+	apps := []string{"bad_dot_product", "priv_dot_product"}
+	var jobs []Job
+	for _, n := range fig1Threads {
+		for _, app := range apps {
+			o := opt
+			o.Threads = n
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("fig1 %s t=%d", app, n),
+				Spec:  specFor(app, o, 0, false, ghostwriter.PolicyHybrid),
+			})
+		}
 	}
-	var base [2]uint64
-	var err error
-	if base[0], err = run("bad_dot_product", 1); err != nil {
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
 		return nil, err
 	}
-	if base[1], err = run("priv_dot_product", 1); err != nil {
-		return nil, err
-	}
+	base := [2]uint64{cells[0].Result.Cycles, cells[1].Result.Cycles} // the t=1 runs
 	fmt.Fprintf(w, "Fig. 1 — dot-product speedup vs thread count (baseline MESI)\n")
 	fmt.Fprintf(w, "%8s %14s %14s\n", "threads", "naive", "privatized")
 	var out []Fig1Point
-	for _, n := range fig1Threads {
-		nc, err := run("bad_dot_product", n)
-		if err != nil {
-			return nil, err
-		}
-		pc, err := run("priv_dot_product", n)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range fig1Threads {
+		nc := cells[2*i].Result.Cycles
+		pc := cells[2*i+1].Result.Cycles
 		p := Fig1Point{
 			Threads:          n,
 			NaiveCycles:      nc,
@@ -79,6 +82,23 @@ type Fig2Row struct {
 // between store values and the values they overwrite, per application,
 // measured on baseline runs with the similarity profiler enabled.
 func Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
+	return NewRunner(0).Fig2(w, opt)
+}
+
+// Fig2 is Fig2 on this Runner.
+func (r *Runner) Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
+	suite := workloads.Suite()
+	jobs := make([]Job, 0, len(suite))
+	for _, f := range suite {
+		jobs = append(jobs, Job{
+			Label: "fig2 " + f.Name,
+			Spec:  specFor(f.Name, opt, 0, true, ghostwriter.PolicyHybrid),
+		})
+	}
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(w, "Fig. 2 — cumulative d-distance distribution of overwritten store values\n")
 	fmt.Fprintf(w, "%-18s %-8s", "app", "suite")
 	for _, d := range fig2Dists {
@@ -86,12 +106,8 @@ func Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
 	}
 	fmt.Fprintln(w)
 	var out []Fig2Row
-	for _, f := range workloads.Suite() {
-		r, err := RunApp(f.Name, opt, 0, true)
-		if err != nil {
-			return nil, err
-		}
-		cdf, n := r.Stats.DistCDF()
+	for i, f := range suite {
+		cdf, n := cells[i].Result.Stats.DistCDF()
 		row := Fig2Row{App: f.Name, Suite: f.Suite, CDF: map[int]float64{}, Samples: n}
 		fmt.Fprintf(w, "%-18s %-8s", f.Name, f.Suite)
 		for _, d := range fig2Dists {
@@ -205,28 +221,31 @@ var fig12Timeouts = []uint64{128, 512, 1024}
 // bad_dot_product microbenchmark (4-distance scribbles) across GI timeout
 // periods.
 func Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
+	return NewRunner(0).Fig12(w, opt)
+}
+
+// Fig12 is Fig12 on this Runner.
+func (r *Runner) Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
+	jobs := make([]Job, 0, len(fig12Timeouts))
+	for _, to := range fig12Timeouts {
+		s := specFor("bad_dot_product", opt, 4, false, ghostwriter.PolicyHybrid)
+		s.Config.GITimeout = to
+		jobs = append(jobs, Job{Label: fmt.Sprintf("fig12 timeout=%d", to), Spec: s})
+	}
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(w, "Fig. 12 — GI timeout sensitivity (bad_dot_product, 4-distance)\n")
 	fmt.Fprintf(w, "%10s %14s %14s\n", "timeout", "serviced by GI", "output error")
 	var out []Fig12Point
-	for _, to := range fig12Timeouts {
-		f, err := workloads.Lookup("bad_dot_product")
-		if err != nil {
-			return nil, err
-		}
-		app := f.New(opt.Scale)
-		app.SetDDist(4)
-		sys := ghostwriter.New(ghostwriter.Config{
-			Protocol:  ghostwriter.Ghostwriter,
-			GITimeout: to,
-		})
-		app.Prepare(sys)
-		sys.Run(opt.Threads, app.Kernel)
-		r := RunResult{Stats: *sys.Stats()}
+	for i, to := range fig12Timeouts {
+		res := cells[i].Result
 		p := Fig12Point{
 			Timeout:    to,
-			GIFracPct:  r.GIFrac() * 100,
-			ErrorPct:   quality.Measure(quality.MPE, app.Output(sys), app.Golden()),
-			GITimeouts: r.Stats.GITimeouts,
+			GIFracPct:  res.GIFrac() * 100,
+			ErrorPct:   res.ErrorPct,
+			GITimeouts: res.Stats.GITimeouts,
 		}
 		out = append(out, p)
 		fmt.Fprintf(w, "%10d %13.1f%% %13.2f%%\n", to, p.GIFracPct, p.ErrorPct)
@@ -264,16 +283,19 @@ func Table2(w io.Writer, opt Options) {
 // Extensions runs the beyond-Table-2 applications (kmeans, sobel, fft) at
 // d ∈ {0, 4, 8} and prints the same columns the suite figures use.
 func Extensions(w io.Writer, opt Options) ([]SuiteResult, error) {
+	return NewRunner(0).Extensions(w, opt)
+}
+
+// Extensions is Extensions on this Runner.
+func (r *Runner) Extensions(w io.Writer, opt Options) ([]SuiteResult, error) {
+	out, err := r.runSuiteApps(workloads.Extensions(), opt)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(w, "Extensions — beyond the paper's Table 2 (same suites)\n")
 	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s %12s\n",
 		"app", "traffic d=8", "speedup d=8", "GS d=8", "GI d=8", "error d=8")
-	var out []SuiteResult
-	for _, f := range workloads.Extensions() {
-		s, err := RunSuiteApp(f.Name, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
+	for _, s := range out {
 		fmt.Fprintf(w, "%-10s %12.3f %11.1f%% %11.1f%% %11.1f%% %11.4f%%\n",
 			s.App, s.TrafficNorm8, s.SpeedupPct8,
 			s.D8.GSFrac()*100, s.D8.GIFrac()*100, s.D8.ErrorPct)
@@ -293,16 +315,32 @@ type TrendPoint struct {
 // EXPERIMENTS.md analysis that the reproduction's shapes are stable under
 // scaling while residency-window error shrinks with input size.
 func ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
-	fmt.Fprintf(w, "Scale trend — linear_regression, d=8 vs baseline\n")
-	fmt.Fprintf(w, "%6s %14s %12s %12s\n", "scale", "traffic norm", "speedup", "error")
-	var out []TrendPoint
+	return NewRunner(0).ScaleTrend(w, opt, scales)
+}
+
+// ScaleTrend is ScaleTrend on this Runner: all (scale × d) cells run on the
+// pool before the table prints.
+func (r *Runner) ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
+	var jobs []Job
 	for _, sc := range scales {
 		o := opt
 		o.Scale = sc
-		s, err := RunSuiteApp("linear_regression", o)
-		if err != nil {
-			return nil, err
+		for _, d := range suiteDists {
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("trend scale=%d d=%d", sc, d),
+				Spec:  specFor("linear_regression", o, d, false, ghostwriter.PolicyHybrid),
+			})
 		}
+	}
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Scale trend — linear_regression, d=8 vs baseline\n")
+	fmt.Fprintf(w, "%6s %14s %12s %12s\n", "scale", "traffic norm", "speedup", "error")
+	var out []TrendPoint
+	for i, sc := range scales {
+		s := deriveSuite(cells[3*i].Result, cells[3*i+1].Result, cells[3*i+2].Result)
 		p := TrendPoint{
 			Scale:        sc,
 			TrafficNorm8: s.TrafficNorm8,

@@ -2,6 +2,14 @@
 // in §4 it executes the required simulations and produces the same data
 // series the paper plots. It is shared by cmd/gwsweep (which regenerates
 // EXPERIMENTS.md) and the repository's top-level benchmarks.
+//
+// The evaluation is a grid of independent (application × d-distance ×
+// configuration) cells, each a pure function of its Spec. The Runner fans a
+// grid out across a bounded worker pool and can persist results in a
+// content-addressed on-disk Cache, so sweeps scale with the host's cores
+// and re-runs only simulate cells whose inputs changed. The package-level
+// functions (RunApp, RunSuite, Fig1, ...) are convenience wrappers that use
+// a fresh all-CPUs Runner without a disk cache.
 package harness
 
 import (
@@ -58,45 +66,18 @@ func (r *RunResult) GIFrac() float64 {
 // protocol; positive values run Ghostwriter with that d-distance. profile
 // enables the Fig. 2 store-similarity profiler.
 func RunApp(name string, opt Options, ddist int, profile bool) (RunResult, error) {
-	return runApp(name, opt, ddist, profile, ghostwriter.PolicyHybrid)
+	return NewRunner(0).RunApp(name, opt, ddist, profile)
+}
+
+// RunApp is RunApp routed through this Runner's worker pool and caches.
+func (r *Runner) RunApp(name string, opt Options, ddist int, profile bool) (RunResult, error) {
+	return r.RunSpec(specFor(name, opt, ddist, profile, ghostwriter.PolicyHybrid))
 }
 
 // RunAppPolicy is RunApp with an explicit scribble residency policy (used
 // by the ablation benchmarks).
 func RunAppPolicy(name string, opt Options, ddist int, policy ghostwriter.ScribblePolicy) (RunResult, error) {
-	return runApp(name, opt, ddist, false, policy)
-}
-
-func runApp(name string, opt Options, ddist int, profile bool, policy ghostwriter.ScribblePolicy) (RunResult, error) {
-	f, err := workloads.Lookup(name)
-	if err != nil {
-		return RunResult{}, err
-	}
-	app := f.New(opt.Scale)
-	cfg := ghostwriter.Config{ProfileSimilarity: profile, Policy: policy}
-	if ddist > 0 {
-		cfg.Protocol = ghostwriter.Ghostwriter
-	}
-	sys := ghostwriter.New(cfg)
-	d := ddist
-	if d == 0 {
-		d = -1 // baseline: scribbles execute as conventional stores
-	}
-	app.SetDDist(d)
-	app.Prepare(sys)
-	cycles := sys.Run(opt.Threads, app.Kernel)
-	res := RunResult{
-		App:      f.Name,
-		Suite:    f.Suite,
-		Metric:   f.Metric,
-		DDist:    ddist,
-		Threads:  opt.Threads,
-		Cycles:   cycles,
-		Stats:    *sys.Stats(),
-		Energy:   *sys.Energy(),
-		ErrorPct: quality.Measure(f.Metric, app.Output(sys), app.Golden()),
-	}
-	return res, nil
+	return NewRunner(0).RunSpec(specFor(name, opt, ddist, false, policy))
 }
 
 // SuiteResult bundles the baseline, d=4, and d=8 runs of one application —
@@ -114,22 +95,28 @@ type SuiteResult struct {
 	NetEnergySaved8Pct float64
 }
 
-// RunSuiteApp runs one application at d ∈ {0, 4, 8} and derives the
-// figure metrics.
-func RunSuiteApp(name string, opt Options) (SuiteResult, error) {
-	base, err := RunApp(name, opt, 0, false)
-	if err != nil {
-		return SuiteResult{}, err
+// suiteDists are the d-distances of one suite row: baseline, 4, 8.
+var suiteDists = []int{0, 4, 8}
+
+// suiteJobs lays out the (application × d) grid for a set of factories, in
+// the deterministic order results are reassembled in: three consecutive
+// cells (d = 0, 4, 8) per application.
+func suiteJobs(apps []workloads.Factory, opt Options) []Job {
+	jobs := make([]Job, 0, len(apps)*len(suiteDists))
+	for _, f := range apps {
+		for _, d := range suiteDists {
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("%s d=%d t=%d", f.Name, d, opt.Threads),
+				Spec:  specFor(f.Name, opt, d, false, ghostwriter.PolicyHybrid),
+			})
+		}
 	}
-	d4, err := RunApp(name, opt, 4, false)
-	if err != nil {
-		return SuiteResult{}, err
-	}
-	d8, err := RunApp(name, opt, 8, false)
-	if err != nil {
-		return SuiteResult{}, err
-	}
-	s := SuiteResult{App: name, Base: base, D4: d4, D8: d8}
+	return jobs
+}
+
+// deriveSuite computes the figure metrics from one application's three runs.
+func deriveSuite(base, d4, d8 RunResult) SuiteResult {
+	s := SuiteResult{App: base.App, Base: base, D4: d4, D8: d8}
 	s.SpeedupPct4 = pctGain(base.Cycles, d4.Cycles)
 	s.SpeedupPct8 = pctGain(base.Cycles, d8.Cycles)
 	s.EnergySavedPct4 = pctSaved(base.Energy.TotalPJ(), d4.Energy.TotalPJ())
@@ -138,20 +125,50 @@ func RunSuiteApp(name string, opt Options) (SuiteResult, error) {
 	s.NetEnergySaved8Pct = pctSaved(base.Energy.NetworkPJ, d8.Energy.NetworkPJ)
 	s.TrafficNorm4 = ratio(d4.Stats.TotalMsgs(), base.Stats.TotalMsgs())
 	s.TrafficNorm8 = ratio(d8.Stats.TotalMsgs(), base.Stats.TotalMsgs())
-	return s, nil
+	return s
+}
+
+// runSuiteApps fans one suite grid out over the pool and reassembles the
+// per-application rows in grid order.
+func (r *Runner) runSuiteApps(apps []workloads.Factory, opt Options) ([]SuiteResult, error) {
+	cells := r.Run(suiteJobs(apps, opt))
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
+	out := make([]SuiteResult, 0, len(apps))
+	for i := 0; i < len(cells); i += len(suiteDists) {
+		out = append(out, deriveSuite(cells[i].Result, cells[i+1].Result, cells[i+2].Result))
+	}
+	return out, nil
+}
+
+// RunSuiteApp runs one application at d ∈ {0, 4, 8} and derives the
+// figure metrics.
+func RunSuiteApp(name string, opt Options) (SuiteResult, error) {
+	return NewRunner(0).RunSuiteApp(name, opt)
+}
+
+// RunSuiteApp is RunSuiteApp on this Runner.
+func (r *Runner) RunSuiteApp(name string, opt Options) (SuiteResult, error) {
+	f, err := workloads.Lookup(name)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	res, err := r.runSuiteApps([]workloads.Factory{f}, opt)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	return res[0], nil
 }
 
 // RunSuite runs the whole Table 2 suite.
 func RunSuite(opt Options) ([]SuiteResult, error) {
-	var out []SuiteResult
-	for _, f := range workloads.Suite() {
-		s, err := RunSuiteApp(f.Name, opt)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s: %w", f.Name, err)
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return NewRunner(0).RunSuite(opt)
+}
+
+// RunSuite is RunSuite on this Runner.
+func (r *Runner) RunSuite(opt Options) ([]SuiteResult, error) {
+	return r.runSuiteApps(workloads.Suite(), opt)
 }
 
 // pctGain returns the percent speedup of after vs before cycle counts.

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"ghostwriter/internal/stats"
 )
@@ -11,10 +12,28 @@ import (
 // for plotting the paper's figures with external tooling.
 type Report struct {
 	Options Options       `json:"options"`
+	Jobs    int           `json:"jobs,omitempty"` // worker-pool size that produced the report
 	Fig1    []Fig1Point   `json:"fig1,omitempty"`
 	Fig2    []Fig2Row     `json:"fig2,omitempty"`
 	Suite   []SuiteRecord `json:"suite,omitempty"` // feeds Figs. 7-11
 	Fig12   []Fig12Point  `json:"fig12,omitempty"`
+	// Timing records the sweep's wall clock and per-cell costs. Unlike the
+	// simulation results it is not deterministic — it measures the host.
+	Timing *TimingReport `json:"timing,omitempty"`
+}
+
+// TimingReport is the wall-clock accounting of one report build.
+type TimingReport struct {
+	// WallMS is the end-to-end wall-clock time of the build in
+	// milliseconds (cells run concurrently, so it is far less than the sum
+	// of the cell times on a multi-core host).
+	WallMS float64 `json:"wallMs"`
+	// Simulated and CacheHits split the cells into fresh simulations and
+	// memo/disk-cache hits.
+	Simulated uint64 `json:"simulated"`
+	CacheHits uint64 `json:"cacheHits"`
+	// Cells lists every cell in grid order with its wall-clock cost.
+	Cells []CellTiming `json:"cells,omitempty"`
 }
 
 // SuiteRecord flattens one application's three runs into plottable fields.
@@ -81,25 +100,45 @@ func record(s SuiteResult) SuiteRecord {
 
 // BuildReport runs the full evaluation and assembles the report.
 func BuildReport(opt Options) (*Report, error) {
-	r := &Report{Options: opt}
+	return NewRunner(0).BuildReport(opt)
+}
+
+// BuildReport is BuildReport on this Runner. Cells already resolved by this
+// Runner (or present in its disk cache) are reused rather than resimulated,
+// so building a report right after printing the text evaluation — the
+// `gwsweep -exp all -json` path — costs no extra simulations.
+func (r *Runner) BuildReport(opt Options) (*Report, error) {
+	var (
+		start     = time.Now()
+		mark      = r.timingMark()
+		simBefore = r.Simulated()
+		hitBefore = r.CacheHits()
+	)
+	rep := &Report{Options: opt, Jobs: r.workers()}
 	var err error
-	if r.Fig1, err = Fig1(io.Discard, opt); err != nil {
+	if rep.Fig1, err = r.Fig1(io.Discard, opt); err != nil {
 		return nil, err
 	}
-	if r.Fig2, err = Fig2(io.Discard, opt); err != nil {
+	if rep.Fig2, err = r.Fig2(io.Discard, opt); err != nil {
 		return nil, err
 	}
-	suite, err := RunSuite(opt)
+	suite, err := r.RunSuite(opt)
 	if err != nil {
 		return nil, err
 	}
 	for _, s := range suite {
-		r.Suite = append(r.Suite, record(s))
+		rep.Suite = append(rep.Suite, record(s))
 	}
-	if r.Fig12, err = Fig12(io.Discard, opt); err != nil {
+	if rep.Fig12, err = r.Fig12(io.Discard, opt); err != nil {
 		return nil, err
 	}
-	return r, nil
+	rep.Timing = &TimingReport{
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+		Simulated: r.Simulated() - simBefore,
+		CacheHits: r.CacheHits() - hitBefore,
+		Cells:     r.timingsSince(mark),
+	}
+	return rep, nil
 }
 
 // WriteJSON emits the report as indented JSON.
