@@ -1,0 +1,73 @@
+// Command gwcached serves a shared, content-addressed result cache over
+// HTTP so a fleet of gwsweep hosts shares one key→result store. Entries
+// are location-independent (the key hashes the code version, the workload
+// spec, and the full machine configuration — see internal/harness), so the
+// server needs no invalidation logic and its data directory is an ordinary
+// on-disk cache: seeding it from a laptop's .gwcache and deleting it are
+// both always safe.
+//
+//	gwcached -addr :8344 -dir /srv/gwcache     # on the cache host
+//	gwsweep -remote http://cachehost:8344      # on every sweep host
+//
+// Endpoints: GET/PUT /v1/cell/<key>, GET /v1/stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ghostwriter/internal/harness"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8344", "listen address")
+		dir   = flag.String("dir", harness.DefaultCacheDir, "cache data directory")
+		quiet = flag.Bool("q", false, "suppress the per-request log")
+	)
+	flag.Parse()
+	cache, err := harness.OpenCache(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwcached:", err)
+		os.Exit(1)
+	}
+	h := harness.NewCacheServer(cache)
+	if !*quiet {
+		h = logRequests(h)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("gwcached: serving %s on %s", cache.Dir(), *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal("gwcached: ", err)
+	}
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps h with a one-line-per-request log: method, path,
+// status, and service time.
+func logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, req)
+		log.Printf("%s %s %d %s", req.Method, req.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}

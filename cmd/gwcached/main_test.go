@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ghostwriter/internal/harness"
+)
+
+// testKey is a well-formed (64 hex chars) cache key for handler tests.
+const testKey = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+// TestServerRoundTripOnDisk exercises the full binary wiring: the handler
+// built over a real on-disk cache, fronted by the request logger, must
+// store a PUT and serve it back on GET.
+func TestServerRoundTripOnDisk(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(io.Discard)
+	ts := httptest.NewServer(logRequests(harness.NewCacheServer(cache)))
+	defer ts.Close()
+
+	want := harness.RunResult{App: "stub", Cycles: 1234}
+	body, _ := json.Marshal(&want)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cell/"+testKey, bytes.NewReader(body))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d, want 204", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/cell/" + testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got harness.RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.App != want.App || got.Cycles != want.Cycles {
+		t.Errorf("GET returned %+v, want %+v", got, want)
+	}
+	if s := cache.Stats(); s.Puts != 1 || s.Hits != 1 {
+		t.Errorf("cache stats %+v, want 1 put / 1 hit", s)
+	}
+	for _, line := range []string{"PUT /v1/cell/", "GET /v1/cell/"} {
+		if !strings.Contains(logBuf.String(), line) {
+			t.Errorf("request log missing %q:\n%s", line, logBuf.String())
+		}
+	}
+}
+
+// TestServerStatsAndHealth: the operational endpoints answer over a disk
+// cache, and /v1/stats reflects traffic.
+func TestServerStatsAndHealth(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(harness.NewCacheServer(cache))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	// One miss, then read the counters back.
+	resp, err = ts.Client().Get(ts.URL + "/v1/cell/" + testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET of absent key status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats harness.CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 miss", stats)
+	}
+}
+
+// TestServerRejectsMalformedRequests: bad keys and non-RunResult bodies
+// are 400s, never stored, and never panic the handler.
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(harness.NewCacheServer(cache))
+	defer ts.Close()
+
+	for _, key := range []string{"x", "..", strings.Repeat("Z", 64)} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/cell/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound &&
+			resp.StatusCode != http.StatusMovedPermanently {
+			t.Errorf("GET with key %q status = %d, want a 4xx/3xx rejection", key, resp.StatusCode)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cell/"+testKey, strings.NewReader("{garbage"))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT with garbage body status = %d, want 400", resp.StatusCode)
+	}
+	if s := cache.Stats(); s.Puts != 0 {
+		t.Errorf("malformed PUT reached the cache: %+v", s)
+	}
+}

@@ -113,8 +113,20 @@ func renderTiming(w *os.File, rep *harness.Report) {
 		return
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "Sweep cost — %.0f ms wall clock on %d workers (%d cells simulated, %d from cache)\n",
+	fmt.Fprintf(w, "Sweep cost — %.0f ms wall clock on %d workers (%d cells simulated, %d from cache",
 		t.WallMS, rep.Jobs, t.Simulated, t.CacheHits)
+	if t.Failures > 0 {
+		fmt.Fprintf(w, ", %d failed", t.Failures)
+	}
+	fmt.Fprintln(w, ")")
+	if r := t.Remote; r != nil {
+		fmt.Fprintf(w, "Remote cache — %d hits, %d misses, %d puts, %d errors",
+			r.Hits, r.Misses, r.Puts, r.Errors)
+		if r.Degraded {
+			fmt.Fprint(w, " (degraded to local-only)")
+		}
+		fmt.Fprintln(w)
+	}
 	cells := append([]harness.CellTiming(nil), t.Cells...)
 	sort.SliceStable(cells, func(i, j int) bool { return cells[i].MS > cells[j].MS })
 	if len(cells) > 10 {

@@ -13,6 +13,12 @@
 //	gwsweep -exp fig9 -threads 24 # one figure
 //	gwsweep -scale 4              # larger inputs (slower, tighter shapes)
 //	gwsweep -jobs 4 -nocache      # bounded parallelism, no result cache
+//	gwsweep -remote http://cachehost:8344   # share results via gwcached
+//
+// With -remote, cells resolve through a tiered backend (memo → local disk
+// → gwcached) and completed cells are written through to the server, so a
+// fleet of gwsweep hosts pointed at one gwcached shares every result. An
+// unreachable server degrades the sweep to local-only; it never fails it.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
+		remote   = flag.String("remote", "", "base URL of a shared gwcached result cache (e.g. http://cachehost:8344)")
 		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
 		jsonPath = flag.String("json", "", "also write the full evaluation as JSON to this file")
 	)
@@ -41,14 +48,37 @@ func main() {
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
+	var disk *harness.Cache
 	if !*noCache {
 		c, err := harness.OpenCache(*cacheDir)
 		if err != nil {
 			// An unwritable cache dir degrades to an uncached sweep.
 			fmt.Fprintln(os.Stderr, "gwsweep: cache disabled:", err)
 		} else {
-			r.Cache = c
+			disk = c
 		}
+	}
+	var rc *harness.RemoteCache
+	if *remote != "" {
+		c, err := harness.NewRemoteCache(harness.RemoteConfig{URL: *remote})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwsweep:", err)
+			os.Exit(2)
+		}
+		rc = c
+	}
+	switch {
+	case rc != nil:
+		// Fastest tier first: a remote hit is backfilled onto local disk so
+		// the next local run never leaves the host.
+		var tiers []harness.CacheBackend
+		if disk != nil {
+			tiers = append(tiers, disk)
+		}
+		tiers = append(tiers, rc)
+		r.Cache = harness.NewTieredCache(tiers...)
+	case disk != nil:
+		r.Cache = disk
 	}
 
 	if err := run(r, *exp, opt); err != nil {
@@ -62,8 +92,21 @@ func main() {
 		}
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "gwsweep: %d cells simulated, %d served from cache\n",
+		fmt.Fprintf(os.Stderr, "gwsweep: %d cells simulated, %d served from cache",
 			r.Simulated(), r.CacheHits())
+		if f := r.Failures(); f > 0 {
+			fmt.Fprintf(os.Stderr, ", %d failed", f)
+		}
+		fmt.Fprintln(os.Stderr)
+		if rc != nil {
+			s, _ := rc.RemoteStats()
+			fmt.Fprintf(os.Stderr, "gwsweep: remote cache: %d hits, %d misses, %d puts, %d errors",
+				s.Hits, s.Misses, s.Puts, s.Errors)
+			if s.Degraded {
+				fmt.Fprint(os.Stderr, " (server unreachable — finished local-only)")
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 

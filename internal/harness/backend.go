@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheBackend is the key→result store the Runner consults before
+// simulating a cell. Keys are Spec.Key() — content-addressed, so an entry
+// is valid wherever it is stored and backends can be stacked and shared
+// across processes or hosts without any invalidation protocol.
+//
+// Implementations must be safe for concurrent use; the Runner calls them
+// from every worker. The on-disk Cache, the in-process MemCache, the HTTP
+// RemoteCache, and the TieredCache composite all implement this interface.
+type CacheBackend interface {
+	// Get returns the cached result for key, if present and readable. A
+	// backend signals every non-hit — absence, malformed key, transport
+	// failure — as a plain miss; the Runner's fallback is always the same
+	// (simulate the cell), so Get needs no error channel.
+	Get(key string) (*RunResult, bool)
+	// Put stores r under key. Errors are advisory: the Runner logs nothing
+	// and never fails a sweep on a cache write.
+	Put(key string, r *RunResult) error
+}
+
+// MemCache is a process-local in-memory CacheBackend, the fastest tier of
+// a TieredCache. Unlike the Runner's built-in memo it is a standalone
+// backend, so it can sit in front of slower tiers and absorb their
+// backfill traffic.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]RunResult
+
+	hits, misses, puts atomic.Uint64
+}
+
+// NewMemCache returns an empty in-memory backend.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string]RunResult)}
+}
+
+// Get returns the stored result for key, if present.
+func (c *MemCache) Get(key string) (*RunResult, bool) {
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return &r, true
+}
+
+// Put stores a copy of r under key.
+func (c *MemCache) Put(key string, r *RunResult) error {
+	c.mu.Lock()
+	c.m[key] = *r
+	c.mu.Unlock()
+	c.puts.Add(1)
+	return nil
+}
+
+// Stats returns the backend's activity counters.
+func (c *MemCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load()}
+}
+
+// TieredCache chains backends fastest-first (typically memo → disk →
+// remote). Get tries each tier in order and backfills every faster tier on
+// a hit, so a result fetched once from a remote server is served from
+// memory for the rest of the process. Put writes through to every tier.
+type TieredCache struct {
+	tiers []CacheBackend
+}
+
+// NewTieredCache builds a tiered backend from fastest to slowest; nil
+// tiers are skipped so callers can pass optional layers unconditionally.
+func NewTieredCache(tiers ...CacheBackend) *TieredCache {
+	t := &TieredCache{}
+	for _, b := range tiers {
+		if b != nil {
+			t.tiers = append(t.tiers, b)
+		}
+	}
+	return t
+}
+
+// Get returns the first tier's hit for key, backfilling faster tiers.
+func (t *TieredCache) Get(key string) (*RunResult, bool) {
+	for i, tier := range t.tiers {
+		r, ok := tier.Get(key)
+		if !ok {
+			continue
+		}
+		// Backfill is best-effort: a full disk or degraded remote must not
+		// turn a hit into a failure.
+		for j := 0; j < i; j++ {
+			_ = t.tiers[j].Put(key, r)
+		}
+		return r, true
+	}
+	return nil, false
+}
+
+// Put writes r through to every tier. All tiers are attempted even when an
+// earlier one fails; the joined error reports every failure.
+func (t *TieredCache) Put(key string, r *RunResult) error {
+	var errs []error
+	for _, tier := range t.tiers {
+		if err := tier.Put(key, r); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// remoteStatser is implemented by backends that front a remote server and
+// can report its traffic counters (RemoteCache, and TieredCache when one
+// of its tiers does).
+type remoteStatser interface {
+	RemoteStats() (RemoteStats, bool)
+}
+
+// RemoteStats returns the counters of the first remote-backed tier, if any.
+func (t *TieredCache) RemoteStats() (RemoteStats, bool) {
+	for _, tier := range t.tiers {
+		if rs, ok := tier.(remoteStatser); ok {
+			if s, ok := rs.RemoteStats(); ok {
+				return s, true
+			}
+		}
+	}
+	return RemoteStats{}, false
+}
+
+// remoteStatsOf extracts remote counters from any backend that carries them.
+func remoteStatsOf(b CacheBackend) (RemoteStats, bool) {
+	if rs, ok := b.(remoteStatser); ok {
+		return rs.RemoteStats()
+	}
+	return RemoteStats{}, false
+}

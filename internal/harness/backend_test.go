@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// backendKey builds a distinct well-formed key for test entry i.
+func backendKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func TestMemCacheRoundTrip(t *testing.T) {
+	c := NewMemCache()
+	key := backendKey(0)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty MemCache reported a hit")
+	}
+	want := RunResult{App: "stub", Cycles: 99}
+	if err := c.Put(key, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || got.Cycles != want.Cycles {
+		t.Fatalf("Get = %+v/%v, want %+v", got, ok, want)
+	}
+	// Entries are stored by value: mutating the returned result must not
+	// poison the cache.
+	got.Cycles = 0
+	if again, _ := c.Get(key); again.Cycles != want.Cycles {
+		t.Error("MemCache entry aliased with a caller's result")
+	}
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats %+v, want 2 hits / 1 miss / 1 put", s)
+	}
+}
+
+// TestTieredCacheWriteThrough: a Put lands in every tier.
+func TestTieredCacheWriteThrough(t *testing.T) {
+	fast, slow := NewMemCache(), NewMemCache()
+	tc := NewTieredCache(fast, slow)
+	key := backendKey(1)
+	if err := tc.Put(key, &RunResult{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tier := range []*MemCache{fast, slow} {
+		if _, ok := tier.Get(key); !ok {
+			t.Errorf("tier %d missing entry after write-through Put", i)
+		}
+	}
+}
+
+// TestTieredCacheBackfill: a hit in a slow tier is promoted to every
+// faster tier, so the next Get never reaches the slow one.
+func TestTieredCacheBackfill(t *testing.T) {
+	fast, slow := NewMemCache(), NewMemCache()
+	tc := NewTieredCache(fast, slow)
+	key := backendKey(2)
+	if err := slow.Put(key, &RunResult{Cycles: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := tc.Get(key); !ok || r.Cycles != 11 {
+		t.Fatalf("tiered Get = %+v/%v", r, ok)
+	}
+	slowGets := slow.Stats().Hits
+	if r, ok := tc.Get(key); !ok || r.Cycles != 11 {
+		t.Fatalf("second tiered Get = %+v/%v", r, ok)
+	}
+	if slow.Stats().Hits != slowGets {
+		t.Error("second Get reached the slow tier — backfill did not happen")
+	}
+	if fast.Stats().Hits == 0 {
+		t.Error("fast tier never served the backfilled entry")
+	}
+}
+
+// TestTieredCacheSkipsNilTiers: optional layers can be passed as nil.
+func TestTieredCacheSkipsNilTiers(t *testing.T) {
+	mem := NewMemCache()
+	tc := NewTieredCache(nil, mem, nil)
+	key := backendKey(3)
+	if err := tc.Put(key, &RunResult{Cycles: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := tc.Get(key); !ok || r.Cycles != 5 {
+		t.Fatalf("Get through nil-padded tiers = %+v/%v", r, ok)
+	}
+}
+
+// TestTieredCacheConcurrentHammer drives concurrent Get/Put traffic on a
+// memo→disk tiered backend; run under -race (CI does) this is the
+// regression net for the backfill and write-through paths.
+func TestTieredCacheConcurrentHammer(t *testing.T) {
+	disk, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTieredCache(NewMemCache(), disk)
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := backendKey(100 + (w+i)%keys)
+				if r, ok := tc.Get(k); ok && r.Cycles != uint64((w+i)%keys) {
+					t.Errorf("key %s returned cycles %d", k, r.Cycles)
+					return
+				}
+				if err := tc.Put(k, &RunResult{Cycles: uint64((w + i) % keys)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		k := backendKey(100 + i)
+		if r, ok := tc.Get(k); !ok || r.Cycles != uint64(i) {
+			t.Errorf("after hammer, key %s = %+v/%v, want cycles %d", k, r, ok, i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -44,31 +45,74 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
+// ValidKey reports whether key has the shape Spec.Key produces: exactly 64
+// lowercase hex characters. Every cache layer — disk, remote client, and
+// the gwcached server — rejects other shapes at the boundary: a short key
+// would panic in path's key[:2] slice, and a key carrying path separators
+// could escape the cache directory.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if ('0' <= b && b <= '9') || ('a' <= b && b <= 'f') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
 }
 
 // Get returns the cached result for key, if present and readable.
 func (c *Cache) Get(key string) (*RunResult, bool) {
-	b, err := os.ReadFile(c.path(key))
+	if !ValidKey(key) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	p := c.path(key)
+	b, err := os.ReadFile(p)
 	if err != nil {
 		c.misses.Add(1)
 		return nil, false
 	}
 	var r RunResult
-	if err := json.Unmarshal(b, &r); err != nil {
-		// Corrupt entry (interrupted writer, manual edit): drop it and let
-		// the caller resimulate.
-		_ = os.Remove(c.path(key))
-		c.misses.Add(1)
-		return nil, false
+	if err := json.Unmarshal(b, &r); err == nil {
+		c.hits.Add(1)
+		return &r, true
 	}
-	c.hits.Add(1)
-	return &r, true
+	// Corrupt entry (interrupted writer, manual edit). A concurrent Put may
+	// have already renamed a good entry into place, so re-read before
+	// deciding: removing blindly here would delete the repaired entry, and
+	// the repaired read must count as one hit, not two misses.
+	if b2, err := os.ReadFile(p); err == nil {
+		if !bytes.Equal(b2, b) {
+			var r2 RunResult
+			if err := json.Unmarshal(b2, &r2); err == nil {
+				c.hits.Add(1)
+				return &r2, true
+			}
+			// Replaced but still undecodable: a writer is active; leave the
+			// entry for it to settle.
+		} else {
+			// Same corrupt bytes on a second look: safe to drop so the
+			// caller's resimulated Put starts clean.
+			_ = os.Remove(p)
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
 }
 
 // Put stores r under key, atomically.
 func (c *Cache) Put(key string, r *RunResult) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("harness: cache put: malformed key %q", key)
+	}
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("harness: cache put: %w", err)
@@ -82,6 +126,13 @@ func (c *Cache) Put(key string, r *RunResult) error {
 		return fmt.Errorf("harness: cache put: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache put: %w", err)
+	}
+	// CreateTemp opens at 0600; a shared cache directory (NFS mount, the
+	// gwcached data dir) needs entries other users can read.
+	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache put: %w", err)

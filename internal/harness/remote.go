@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Remote-client defaults; every knob is overridable through RemoteConfig.
+const (
+	defaultRemoteTimeout = 5 * time.Second
+	defaultRemoteRetries = 2
+	defaultRemoteBackoff = 50 * time.Millisecond
+	// maxEntryBytes bounds one cache entry on the wire (a RunResult is a
+	// few KB of JSON; 16 MiB is far beyond any legitimate entry).
+	maxEntryBytes = 16 << 20
+)
+
+// RemoteConfig configures a RemoteCache client.
+type RemoteConfig struct {
+	// URL is the gwcached base URL, e.g. "http://cachehost:8344".
+	URL string
+	// Timeout bounds one HTTP request (default 5s).
+	Timeout time.Duration
+	// Retries is how many times a failed request is retried before the
+	// client gives up on it (default 2, so 3 attempts total). Retries use
+	// exponential backoff with jitter.
+	Retries int
+	// Backoff is the first retry's base delay (default 50ms); each further
+	// retry doubles it, and up to 100% jitter is added on top.
+	Backoff time.Duration
+	// Log receives the single degradation notice when the server becomes
+	// unreachable (default os.Stderr).
+	Log io.Writer
+}
+
+// RemoteCache is a CacheBackend backed by a gwcached server: GET/PUT
+// /v1/cell/<key> with JSON RunResult bodies. Requests are retried with
+// exponential backoff plus jitter; when the server stays unreachable
+// through a full retry cycle the client degrades to a permanent no-op for
+// the rest of the process — logged once, not per cell — so a mid-sweep
+// server death costs one slow cell, never a failed one.
+//
+// A RemoteCache is safe for concurrent use by the Runner's workers.
+type RemoteCache struct {
+	base    string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	log     io.Writer
+
+	degraded atomic.Bool
+	// hits/misses count server answers; errors counts failed requests
+	// (after retries) and malformed responses.
+	hits, misses, puts, errs atomic.Uint64
+}
+
+// NewRemoteCache validates cfg.URL and returns a client for it. The server
+// is not contacted here: an unreachable server must degrade a sweep, not
+// abort it before the first cell.
+func NewRemoteCache(cfg RemoteConfig) (*RemoteCache, error) {
+	u, err := url.Parse(cfg.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("harness: remote cache: invalid URL %q", cfg.URL)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("harness: remote cache: unsupported scheme %q", u.Scheme)
+	}
+	c := &RemoteCache{
+		base:    strings.TrimRight(cfg.URL, "/"),
+		retries: cfg.Retries,
+		backoff: cfg.Backoff,
+		log:     cfg.Log,
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = defaultRemoteTimeout
+	}
+	if c.retries <= 0 {
+		c.retries = defaultRemoteRetries
+	}
+	if c.backoff <= 0 {
+		c.backoff = defaultRemoteBackoff
+	}
+	if c.log == nil {
+		c.log = os.Stderr
+	}
+	c.client = &http.Client{Timeout: timeout}
+	return c, nil
+}
+
+// Degraded reports whether the client has given up on the server.
+func (c *RemoteCache) Degraded() bool { return c.degraded.Load() }
+
+// Get fetches the entry for key from the server. Any failure — malformed
+// key, exhausted retries, undecodable body — is a miss; the caller's
+// fallback (simulate locally) is always correct.
+func (c *RemoteCache) Get(key string) (*RunResult, bool) {
+	if c.degraded.Load() || !ValidKey(key) {
+		return nil, false
+	}
+	body, status, err := c.do(http.MethodGet, key, nil)
+	if err != nil {
+		return nil, false
+	}
+	switch status {
+	case http.StatusOK:
+		var r RunResult
+		if err := json.Unmarshal(body, &r); err != nil {
+			c.errs.Add(1)
+			return nil, false
+		}
+		c.hits.Add(1)
+		return &r, true
+	case http.StatusNotFound:
+		c.misses.Add(1)
+		return nil, false
+	default:
+		c.errs.Add(1)
+		return nil, false
+	}
+}
+
+// Put uploads r under key. Once degraded, Put is a silent no-op so the
+// local tiers keep the sweep going without per-cell noise.
+func (c *RemoteCache) Put(key string, r *RunResult) error {
+	if c.degraded.Load() {
+		return nil
+	}
+	if !ValidKey(key) {
+		return fmt.Errorf("harness: remote cache put: malformed key %q", key)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("harness: remote cache put: %w", err)
+	}
+	_, status, err := c.do(http.MethodPut, key, b)
+	if err != nil {
+		return fmt.Errorf("harness: remote cache put: %w", err)
+	}
+	if status/100 != 2 {
+		c.errs.Add(1)
+		return fmt.Errorf("harness: remote cache put: server returned %d", status)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// do issues one request with bounded retries. Transport errors and 5xx
+// responses are retried with exponential backoff + jitter; 2xx/4xx are
+// returned to the caller. If the final failure was at the transport level
+// the server is unreachable and the client degrades.
+func (c *RemoteCache) do(method, key string, body []byte) ([]byte, int, error) {
+	endpoint := c.base + "/v1/cell/" + key
+	var (
+		lastErr   error
+		transport bool
+	)
+	for attempt := 0; ; attempt++ {
+		var reqBody io.Reader
+		if body != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, endpoint, reqBody)
+		if err != nil {
+			return nil, 0, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.client.Do(req)
+		if err == nil {
+			b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				lastErr, transport = rerr, true
+			case resp.StatusCode >= 500:
+				lastErr, transport = fmt.Errorf("harness: remote cache: %s %s: %s", method, endpoint, resp.Status), false
+			default:
+				return b, resp.StatusCode, nil
+			}
+		} else {
+			lastErr, transport = err, true
+		}
+		if attempt >= c.retries {
+			break
+		}
+		c.sleep(attempt)
+	}
+	c.errs.Add(1)
+	if transport {
+		c.degrade(lastErr)
+	}
+	return nil, 0, lastErr
+}
+
+// sleep waits out the backoff for the given (0-based) failed attempt:
+// base·2^attempt plus up to 100% jitter, so a fleet of sweep hosts does
+// not hammer a recovering server in lockstep.
+func (c *RemoteCache) sleep(attempt int) {
+	d := c.backoff << attempt
+	d += time.Duration(rand.Int64N(int64(d) + 1))
+	time.Sleep(d)
+}
+
+// degrade switches the client to local-only, logging the reason exactly
+// once no matter how many workers race into it.
+func (c *RemoteCache) degrade(cause error) {
+	if c.degraded.CompareAndSwap(false, true) {
+		fmt.Fprintf(c.log, "harness: remote cache %s unreachable (%v); continuing with local tiers only\n",
+			c.base, cause)
+	}
+}
+
+// RemoteStats is a point-in-time snapshot of remote-cache traffic.
+type RemoteStats struct {
+	// Hits and Misses count definitive server answers (200 / 404).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Puts counts entries accepted by the server.
+	Puts uint64 `json:"puts"`
+	// Errors counts requests that failed after retries, server errors, and
+	// undecodable responses.
+	Errors uint64 `json:"errors"`
+	// Degraded reports that the client gave up on the server and the sweep
+	// finished on local tiers only.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// RemoteStats returns the client's counters; the bool is always true and
+// exists to satisfy the shared stats-discovery interface.
+func (c *RemoteCache) RemoteStats() (RemoteStats, bool) {
+	return RemoteStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Puts:     c.puts.Load(),
+		Errors:   c.errs.Load(),
+		Degraded: c.degraded.Load(),
+	}, true
+}

@@ -29,9 +29,14 @@ type TimingReport struct {
 	// of the cell times on a multi-core host).
 	WallMS float64 `json:"wallMs"`
 	// Simulated and CacheHits split the cells into fresh simulations and
-	// memo/disk-cache hits.
+	// memo/disk-cache hits; Failures counts cells that errored or panicked.
 	Simulated uint64 `json:"simulated"`
 	CacheHits uint64 `json:"cacheHits"`
+	Failures  uint64 `json:"failures,omitempty"`
+	// Remote carries the remote-tier traffic counters when the sweep ran
+	// against a gwcached server. The counters are cumulative for the
+	// Runner's backend (remote traffic is not bracketed per report build).
+	Remote *RemoteStats `json:"remote,omitempty"`
 	// Cells lists every cell in grid order with its wall-clock cost.
 	Cells []CellTiming `json:"cells,omitempty"`
 }
@@ -109,10 +114,11 @@ func BuildReport(opt Options) (*Report, error) {
 // `gwsweep -exp all -json` path — costs no extra simulations.
 func (r *Runner) BuildReport(opt Options) (*Report, error) {
 	var (
-		start     = time.Now()
-		mark      = r.timingMark()
-		simBefore = r.Simulated()
-		hitBefore = r.CacheHits()
+		start      = time.Now()
+		mark       = r.timingMark()
+		simBefore  = r.Simulated()
+		hitBefore  = r.CacheHits()
+		failBefore = r.Failures()
 	)
 	rep := &Report{Options: opt, Jobs: r.workers()}
 	var err error
@@ -136,7 +142,13 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
 		Simulated: r.Simulated() - simBefore,
 		CacheHits: r.CacheHits() - hitBefore,
+		Failures:  r.Failures() - failBefore,
 		Cells:     r.timingsSince(mark),
+	}
+	if r.Cache != nil {
+		if rs, ok := remoteStatsOf(r.Cache); ok {
+			rep.Timing.Remote = &rs
+		}
 	}
 	return rep, nil
 }

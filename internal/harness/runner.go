@@ -48,15 +48,23 @@ type CellTiming struct {
 //   - an in-process memo (always on) so one process never simulates the
 //     same Spec twice — e.g. `gwsweep -exp all -json` reuses the text run's
 //     cells when assembling the JSON report;
-//   - an optional on-disk Cache shared across processes.
+//   - an optional CacheBackend shared across processes: the on-disk Cache,
+//     or a TieredCache stacking disk in front of a RemoteCache so a fleet
+//     of hosts shares one result store.
+//
+// Identical Specs submitted concurrently are additionally deduplicated
+// in-flight: one worker simulates, the rest wait for its result, so a grid
+// with repeated cells costs one simulation per distinct Spec even before
+// the memo is populated.
 //
 // The zero value runs on runtime.NumCPU() workers with no disk cache and no
 // progress output.
 type Runner struct {
 	// Jobs is the worker count; values <= 0 select runtime.NumCPU().
 	Jobs int
-	// Cache, when non-nil, persists results across processes.
-	Cache *Cache
+	// Cache, when non-nil, persists results across processes (and, for
+	// remote-backed tiers, across hosts).
+	Cache CacheBackend
 	// Progress, when non-nil, receives a one-line progress/ETA ticker
 	// (typically os.Stderr).
 	Progress io.Writer
@@ -68,9 +76,18 @@ type Runner struct {
 	cacheHits atomic.Uint64
 	failures  atomic.Uint64
 
-	mu      sync.Mutex
-	memo    map[string]RunResult
-	timings []CellTiming
+	mu       sync.Mutex
+	memo     map[string]RunResult
+	inflight map[string]*inflightCell
+	timings  []CellTiming
+}
+
+// inflightCell is one in-progress simulation other workers can wait on.
+// res/err are written exactly once, before done is closed.
+type inflightCell struct {
+	done chan struct{}
+	res  RunResult
+	err  error
 }
 
 // NewRunner returns a Runner with the given worker count (0 = all CPUs).
@@ -84,7 +101,8 @@ func (r *Runner) workers() int {
 	return runtime.NumCPU()
 }
 
-// Simulated returns how many cells this Runner actually simulated.
+// Simulated returns how many cells this Runner simulated to completion.
+// Cells that errored or panicked are counted by Failures, not here.
 func (r *Runner) Simulated() uint64 { return r.simulated.Load() }
 
 // CacheHits returns how many cells were served from the memo or disk cache.
@@ -145,7 +163,8 @@ func (r *Runner) RunSpec(s Spec) (RunResult, error) {
 	return c.Result, c.Err
 }
 
-// runCell resolves one job: memo, then disk cache, then simulation.
+// runCell resolves one job: memo, then in-flight dedup, then the cache
+// backend, then simulation.
 func (r *Runner) runCell(j Job) (cr CellResult) {
 	cr.Job = j
 	start := time.Now()
@@ -153,13 +172,43 @@ func (r *Runner) runCell(j Job) (cr CellResult) {
 
 	key := j.Spec.Key()
 	r.mu.Lock()
-	res, ok := r.memo[key]
-	r.mu.Unlock()
-	if ok {
+	if res, ok := r.memo[key]; ok {
+		r.mu.Unlock()
 		cr.Result, cr.Cached = res, true
 		r.cacheHits.Add(1)
 		return cr
 	}
+	// Singleflight: if another worker is already resolving this key, wait
+	// for its result instead of simulating the same Spec a second time and
+	// double-writing the cache.
+	if in, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-in.done
+		if in.err != nil {
+			// Errors are not memoized (a later identical Spec retries), but
+			// this concurrent duplicate shares its leader's fate.
+			cr.Err = in.err
+			r.failures.Add(1)
+			return cr
+		}
+		cr.Result, cr.Cached = in.res, true
+		r.cacheHits.Add(1)
+		return cr
+	}
+	in := &inflightCell{done: make(chan struct{})}
+	if r.inflight == nil {
+		r.inflight = make(map[string]*inflightCell)
+	}
+	r.inflight[key] = in
+	r.mu.Unlock()
+	defer func() {
+		in.res, in.err = cr.Result, cr.Err
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		close(in.done)
+	}()
+
 	if r.Cache != nil {
 		if res, ok := r.Cache.Get(key); ok {
 			cr.Result, cr.Cached = *res, true
@@ -177,11 +226,13 @@ func (r *Runner) runCell(j Job) (cr CellResult) {
 		}()
 		cr.Result, cr.Err = r.simulate(j.Spec)
 	}()
-	r.simulated.Add(1)
 	if cr.Err != nil {
+		// A failed cell is not a simulated cell: the epilogue's "N
+		// simulated" counts completed simulations only.
 		r.failures.Add(1)
 		return cr
 	}
+	r.simulated.Add(1)
 	r.memoize(key, cr.Result)
 	if r.Cache != nil {
 		// A failed write only costs a resimulation next process; the sweep
@@ -244,6 +295,9 @@ func (r *Runner) progress(done, total int, start time.Time) {
 	fmt.Fprintf(r.Progress, "\rsweep %d/%d (%d%%) · elapsed %s · eta %s · %d simulated · %d cached ",
 		done, total, done*100/total, elapsed.Round(time.Second), eta.Round(time.Second),
 		r.simulated.Load(), r.cacheHits.Load())
+	if f := r.failures.Load(); f > 0 {
+		fmt.Fprintf(r.Progress, "· %d failed ", f)
+	}
 	if done == total {
 		fmt.Fprintln(r.Progress)
 	}

@@ -199,6 +199,112 @@ func TestRunnerMemo(t *testing.T) {
 	}
 }
 
+// TestRunnerSingleflight: identical Specs submitted concurrently must
+// resolve with exactly one simulation — the duplicates wait for the
+// in-flight leader instead of racing past the not-yet-populated memo.
+func TestRunnerSingleflight(t *testing.T) {
+	var executions atomic.Uint64
+	r := NewRunner(8)
+	r.execute = func(s Spec) (RunResult, error) {
+		executions.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold the grid's workers in the window
+		return RunResult{Cycles: 31}, nil
+	}
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Label: "dup", Spec: Spec{App: "stub", Scale: 1, Threads: 1}}
+	}
+	cells := r.Run(jobs)
+	if err := firstErr(cells); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("identical specs executed %d times, want 1", got)
+	}
+	if got := r.Simulated(); got != 1 {
+		t.Errorf("Simulated() = %d, want 1", got)
+	}
+	if got := r.CacheHits(); got != uint64(len(jobs)-1) {
+		t.Errorf("CacheHits() = %d, want %d", got, len(jobs)-1)
+	}
+	uncached := 0
+	for i, c := range cells {
+		if c.Result.Cycles != 31 {
+			t.Fatalf("cell %d result %d, want 31", i, c.Result.Cycles)
+		}
+		if !c.Cached {
+			uncached++
+		}
+	}
+	if uncached != 1 {
+		t.Errorf("%d uncached cells, want exactly 1 (the leader)", uncached)
+	}
+}
+
+// TestRunnerSingleflightSharesErrors: concurrent duplicates of a failing
+// cell all see the leader's error, but the failure is not memoized — a
+// later retry simulates afresh.
+func TestRunnerSingleflightSharesErrors(t *testing.T) {
+	var executions atomic.Uint64
+	// One worker per job: every duplicate is in flight while the leader
+	// sleeps, so none arrives after the (unmemoized) failure and retries.
+	r := NewRunner(8)
+	r.execute = func(s Spec) (RunResult, error) {
+		executions.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		return RunResult{}, fmt.Errorf("injected")
+	}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Label: "dup", Spec: Spec{App: "stub", Scale: 1, Threads: 1}}
+	}
+	cells := r.Run(jobs)
+	for i, c := range cells {
+		if c.Err == nil {
+			t.Fatalf("cell %d missing the shared error", i)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Errorf("failing spec executed %d times within one window, want 1", got)
+	}
+	if got := r.Failures(); got != uint64(len(jobs)) {
+		t.Errorf("Failures() = %d, want %d (one per errored cell)", got, len(jobs))
+	}
+	if r.Simulated() != 0 {
+		t.Errorf("Simulated() = %d, want 0 — failed cells are not simulations", r.Simulated())
+	}
+	// The error was not memoized: a fresh call retries.
+	if _, err := r.RunSpec(jobs[0].Spec); err == nil {
+		t.Fatal("retry unexpectedly succeeded")
+	}
+	if got := executions.Load(); got != 2 {
+		t.Errorf("retry after shared failure executed %d times total, want 2", got)
+	}
+}
+
+// TestRunnerFailedCellsNotCountedSimulated: the epilogue's "N simulated"
+// must count completed simulations only; errored and panicked cells land
+// in Failures.
+func TestRunnerFailedCellsNotCountedSimulated(t *testing.T) {
+	r := NewRunner(4)
+	r.execute = func(s Spec) (RunResult, error) {
+		switch s.Scale % 3 {
+		case 0:
+			return RunResult{}, fmt.Errorf("boom")
+		case 1:
+			panic("kaboom")
+		}
+		return RunResult{Cycles: 1}, nil
+	}
+	r.Run(stubJobs(9)) // scales 1..9: three each of panic/ok/error
+	if got := r.Simulated(); got != 3 {
+		t.Errorf("Simulated() = %d, want 3", got)
+	}
+	if got := r.Failures(); got != 6 {
+		t.Errorf("Failures() = %d, want 6", got)
+	}
+}
+
 // TestRunnerProgressLine: the ticker reaches 100% and terminates the line.
 func TestRunnerProgressLine(t *testing.T) {
 	var buf bytes.Buffer

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// cacheStatser is implemented by backends that track activity counters.
+type cacheStatser interface {
+	Stats() CacheStats
+}
+
+// NewCacheServer returns the gwcached HTTP handler: a content-addressed
+// key→result store over backend. The protocol is two verbs on one
+// resource —
+//
+//	GET  /v1/cell/<key>  → 200 + RunResult JSON, or 404
+//	PUT  /v1/cell/<key>  → 204 on store, 400 on malformed key/body
+//
+// plus GET /v1/stats (backend counters, when the backend tracks them) and
+// GET /healthz for load-balancer probes. Keys are validated to the
+// Spec.Key() shape at the boundary and PUT bodies must decode as a
+// RunResult, so a buggy or hostile client cannot plant undecodable
+// entries that every sweep host would then re-download and discard.
+func NewCacheServer(backend CacheBackend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		cs, ok := backend.(cacheStatser)
+		if !ok {
+			http.Error(w, "backend tracks no stats", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cs.Stats())
+	})
+	mux.HandleFunc("GET /v1/cell/{key}", func(w http.ResponseWriter, req *http.Request) {
+		key := req.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "malformed key", http.StatusBadRequest)
+			return
+		}
+		r, ok := backend.Get(key)
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r)
+	})
+	mux.HandleFunc("PUT /v1/cell/{key}", func(w http.ResponseWriter, req *http.Request) {
+		key := req.PathValue("key")
+		if !ValidKey(key) {
+			http.Error(w, "malformed key", http.StatusBadRequest)
+			return
+		}
+		var r RunResult
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxEntryBytes))
+		if err := dec.Decode(&r); err != nil {
+			http.Error(w, "body is not a RunResult: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := backend.Put(key, &r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
