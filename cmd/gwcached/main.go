@@ -1,23 +1,40 @@
-// Command gwcached serves a shared, content-addressed result cache over
-// HTTP so a fleet of gwsweep hosts shares one key→result store. Entries
-// are location-independent (the key hashes the code version, the workload
-// spec, and the full machine configuration — see internal/harness), so the
-// server needs no invalidation logic and its data directory is an ordinary
-// on-disk cache: seeding it from a laptop's .gwcache and deleting it are
-// both always safe.
+// Command gwcached serves a shared, content-addressed result cache plus a
+// lease-based work dispatcher over HTTP, so a fleet of gwsweep hosts
+// shares one key→result store and partitions one evaluation grid between
+// them. Entries are location-independent (the key hashes the code version,
+// the workload spec, and the full machine configuration — see
+// internal/harness), so the server needs no invalidation logic and its
+// data directory is an ordinary on-disk cache: seeding it from a laptop's
+// .gwcache and deleting it are both always safe.
 //
-//	gwcached -addr :8344 -dir /srv/gwcache     # on the cache host
-//	gwsweep -remote http://cachehost:8344      # on every sweep host
+//	gwcached -addr :8344 -dir /srv/gwcache        # on the cache host
+//	gwsweep -remote http://cachehost:8344 -submit # once, to post the grid
+//	gwsweep -remote http://cachehost:8344 -worker # on every sweep host
 //
-// Endpoints: GET/PUT /v1/cell/<key>, GET /v1/stats, GET /healthz.
+// Workers lease batches of cells (POST /v1/claim), renew mid-simulation
+// (POST /v1/heartbeat), and complete by the idempotent PUT /v1/cell/<key>.
+// A reaper returns expired leases to the queue, so cells held by a crashed
+// or partitioned worker are re-dispatched automatically; the dispatcher
+// itself is rebuilt after a restart by simply resubmitting the manifest
+// (already-stored cells are skipped).
+//
+// Endpoints: GET/PUT /v1/cell/<key>, POST /v1/sweep, POST /v1/claim,
+// POST /v1/heartbeat, GET /v1/sweep, GET /v1/stats, GET /healthz.
+//
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before the
+// process exits, so a rolling restart never truncates a PUT body mid-write.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ghostwriter/internal/harness"
@@ -25,9 +42,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8344", "listen address")
-		dir   = flag.String("dir", harness.DefaultCacheDir, "cache data directory")
-		quiet = flag.Bool("q", false, "suppress the per-request log")
+		addr     = flag.String("addr", ":8344", "listen address")
+		dir      = flag.String("dir", harness.DefaultCacheDir, "cache data directory")
+		leaseTTL = flag.Duration("lease-ttl", harness.DefaultLeaseTTL, "work-dispatch lease duration (heartbeats renew it)")
+		reap     = flag.Duration("reap", 5*time.Second, "expired-lease reaper period")
+		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
+		quiet    = flag.Bool("q", false, "suppress the per-request log")
 	)
 	flag.Parse()
 	cache, err := harness.OpenCache(*dir)
@@ -35,7 +55,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gwcached:", err)
 		os.Exit(1)
 	}
-	h := harness.NewCacheServer(cache)
+	disp := harness.NewDispatcher(*leaseTTL)
+	h := harness.NewDispatchServer(cache, disp)
 	if !*quiet {
 		h = logRequests(h)
 	}
@@ -44,9 +65,49 @@ func main() {
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("gwcached: serving %s on %s", cache.Dir(), *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The reaper returns crashed workers' leases to the queue even while no
+	// claim traffic arrives to reap them lazily, keeping /v1/sweep honest.
+	go func() {
+		t := time.NewTicker(*reap)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if n := disp.Reap(); n > 0 {
+					log.Printf("gwcached: requeued %d expired lease(s)", n)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gwcached: serving %s on %s (lease ttl %s)", cache.Dir(), *addr, disp.TTL())
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (port in use, permission); Shutdown
+		// never ran, so ErrServerClosed cannot arrive on this path.
 		log.Fatal("gwcached: ", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("gwcached: signal received; draining for up to %s", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("gwcached: drain incomplete (%v); closing", err)
+			srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("gwcached: ", err)
+		}
+		log.Printf("gwcached: stopped")
 	}
 }
 

@@ -141,3 +141,109 @@ func TestServerRejectsMalformedRequests(t *testing.T) {
 		t.Errorf("malformed PUT reached the cache: %+v", s)
 	}
 }
+
+// TestServerHealthzContentType: probes get an explicit text Content-Type,
+// not Go's sniffed default.
+func TestServerHealthzContentType(t *testing.T) {
+	ts := httptest.NewServer(harness.NewCacheServer(harness.NewMemCache()))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/healthz Content-Type = %q, want text/plain", ct)
+	}
+}
+
+// TestServerStatsWithoutCounters: a backend that tracks no counters (the
+// TieredCache composite) still answers /v1/stats with 200 and a zero stats
+// object, so monitoring scripts never special-case the status code.
+func TestServerStatsWithoutCounters(t *testing.T) {
+	backend := harness.NewTieredCache(harness.NewMemCache())
+	ts := httptest.NewServer(harness.NewCacheServer(backend))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats over a counterless backend = %d, want 200", resp.StatusCode)
+	}
+	var stats harness.CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("/v1/stats body undecodable: %v", err)
+	}
+	if stats != (harness.CacheStats{}) {
+		t.Errorf("stats = %+v, want the zero object", stats)
+	}
+}
+
+// TestServerRejectsEmptyResult: a decodable but all-zero RunResult is a
+// 400 — a vacuous entry planted once would otherwise be trusted by every
+// worker that later hits the key.
+func TestServerRejectsEmptyResult(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(harness.NewCacheServer(cache))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cell/"+testKey, strings.NewReader("{}"))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT of empty RunResult status = %d, want 400", resp.StatusCode)
+	}
+	if s := cache.Stats(); s.Puts != 0 {
+		t.Errorf("empty RunResult reached the cache: %+v", s)
+	}
+}
+
+// TestServerDispatchProtocol wires the full fleet protocol through the
+// handler gwcached actually serves: submit → claim → heartbeat → complete
+// via PUT → status.
+func TestServerDispatchProtocol(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := harness.NewDispatcher(harness.DefaultLeaseTTL)
+	ts := httptest.NewServer(harness.NewDispatchServer(cache, disp))
+	defer ts.Close()
+	rc, err := harness.NewRemoteCache(harness.RemoteConfig{URL: ts.URL, Log: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	manifest, err := harness.Manifest("fig1", harness.Options{Scale: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rc.SubmitSweep(manifest)
+	if err != nil || sub.Queued != len(manifest) {
+		t.Fatalf("submit = %+v, %v; want %d queued", sub, err, len(manifest))
+	}
+	claim, err := rc.ClaimWork("w1", 2)
+	if err != nil || len(claim.Items) != 2 || claim.TTLMS <= 0 {
+		t.Fatalf("claim = %+v, %v; want 2 items and a positive TTL", claim, err)
+	}
+	hb, err := rc.HeartbeatWork("w1", []string{claim.Items[0].Key})
+	if err != nil || len(hb.Renewed) != 1 {
+		t.Fatalf("heartbeat = %+v, %v; want the lease renewed", hb, err)
+	}
+	res := harness.RunResult{App: claim.Items[0].Spec.App, Cycles: 1}
+	if err := rc.CompleteWork(claim.Items[0].Key, &res); err != nil {
+		t.Fatal(err)
+	}
+	st, err := rc.SweepStatus()
+	if err != nil || st.Done != 1 || st.Leased != 1 || st.Total != len(manifest) {
+		t.Fatalf("status = %+v, %v; want 1 done / 1 leased of %d", st, err, len(manifest))
+	}
+}

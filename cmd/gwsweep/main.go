@@ -14,17 +14,34 @@
 //	gwsweep -scale 4              # larger inputs (slower, tighter shapes)
 //	gwsweep -jobs 4 -nocache      # bounded parallelism, no result cache
 //	gwsweep -remote http://cachehost:8344   # share results via gwcached
+//	gwsweep -remote URL -submit             # post the -exp grid for dispatch
+//	gwsweep -remote URL -worker             # claim, simulate, publish cells
 //
 // With -remote, cells resolve through a tiered backend (memo → local disk
 // → gwcached) and completed cells are written through to the server, so a
 // fleet of gwsweep hosts pointed at one gwcached shares every result. An
 // unreachable server degrades the sweep to local-only; it never fails it.
+//
+// With -submit and/or -worker the sweep is actively partitioned instead of
+// deduplicated: -submit posts the manifest of the selected experiment to
+// the server's work dispatcher, and -worker turns this process into a
+// fleet worker that leases batches of cells, simulates them, and publishes
+// the results (renewing its leases by heartbeat, and backing off with
+// jitter when the queue is momentarily empty). A worker that crashes
+// simply lets its leases expire; the dispatcher re-queues its cells. Once
+// the sweep completes, a plain `gwsweep -remote URL` on any host replays
+// the whole evaluation from the shared store with zero simulations.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ghostwriter/internal/harness"
 )
@@ -38,6 +55,11 @@ func main() {
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
 		remote   = flag.String("remote", "", "base URL of a shared gwcached result cache (e.g. http://cachehost:8344)")
+		submit   = flag.Bool("submit", false, "post the -exp grid manifest to -remote for fleet dispatch")
+		worker   = flag.Bool("worker", false, "run as a fleet worker: claim cells from -remote, simulate, publish")
+		batch    = flag.Int("batch", 4, "cells per claim in -worker mode")
+		workerID = flag.String("worker-id", "", "worker identity for lease tracking (default host-pid)")
+		idleExit = flag.Duration("idle-exit", 0, "exit -worker mode after this long with no work (0 = wait indefinitely)")
 		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
 		jsonPath = flag.String("json", "", "also write the full evaluation as JSON to this file")
 	)
@@ -66,6 +88,30 @@ func main() {
 			os.Exit(2)
 		}
 		rc = c
+	}
+	if *submit || *worker {
+		if rc == nil {
+			fmt.Fprintln(os.Stderr, "gwsweep: -submit and -worker require -remote")
+			os.Exit(2)
+		}
+		// A fleet worker resolves cells through its local disk tier only:
+		// a dispatched cell is by construction absent from the server, and
+		// completion is an explicit publish, not cache write-through.
+		if disk != nil {
+			r.Cache = disk
+		}
+		if err := fleet(r, rc, *exp, opt, fleetConfig{
+			submit:   *submit,
+			worker:   *worker,
+			batch:    *batch,
+			workerID: *workerID,
+			idleExit: *idleExit,
+			quiet:    *quiet,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "gwsweep:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	switch {
 	case rc != nil:
@@ -108,6 +154,62 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+}
+
+// fleetConfig bundles the -submit/-worker knobs.
+type fleetConfig struct {
+	submit, worker bool
+	batch          int
+	workerID       string
+	idleExit       time.Duration
+	quiet          bool
+}
+
+// fleet runs the active-dispatch modes: post the manifest, work the queue,
+// or both (one host typically runs `-submit -worker`, the rest `-worker`).
+// ^C lets the in-flight batch's simulations finish but abandons their
+// publication, leaving the cells to lease expiry — a stopped worker and a
+// crashed one look identical to the dispatcher by design.
+func fleet(r *harness.Runner, rc *harness.RemoteCache, exp string, opt harness.Options, cfg fleetConfig) error {
+	if cfg.submit {
+		manifest, err := harness.Manifest(exp, opt)
+		if err != nil {
+			return err
+		}
+		resp, err := rc.SubmitSweep(manifest)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "gwsweep: submitted %q: %d queued, %d already cached, %d already tracked",
+			exp, resp.Queued, resp.Cached, resp.Known)
+		if resp.Rejected > 0 {
+			fmt.Fprintf(os.Stderr, ", %d REJECTED (client/server code versions differ?)", resp.Rejected)
+		}
+		fmt.Fprintf(os.Stderr, " · sweep %d/%d done\n", resp.Status.Done, resp.Status.Total)
+	}
+	if !cfg.worker {
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pool := &harness.WorkerPool{
+		Runner:   r,
+		Client:   rc,
+		ID:       cfg.workerID,
+		Batch:    cfg.batch,
+		IdleExit: cfg.idleExit,
+		Log:      os.Stderr,
+	}
+	stats, err := pool.Run(ctx)
+	if !cfg.quiet {
+		fmt.Fprintf(os.Stderr, "gwsweep: worker: %d cells claimed, %d published, %d failed, %d abandoned, %d leases lost\n",
+			stats.Claimed, stats.Completed, stats.Failed, stats.Abandoned, stats.LostLeases)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gwsweep: worker stopped by signal; unfinished cells will be re-dispatched on lease expiry")
+		return nil
+	}
+	return err
 }
 
 // writeJSON dumps the full evaluation for plotting. The runner's in-process

@@ -136,6 +136,23 @@ func (t *TieredCache) RemoteStats() (RemoteStats, bool) {
 	return RemoteStats{}, false
 }
 
+// sweepStatuser is implemented by backends that front a dispatch-enabled
+// gwcached and can query its sweep counters.
+type sweepStatuser interface {
+	SweepStatus() (SweepStatus, error)
+}
+
+// SweepStatus returns the sweep counters of the first dispatch-capable
+// tier, or ErrNoDispatcher when no tier fronts a dispatch server.
+func (t *TieredCache) SweepStatus() (SweepStatus, error) {
+	for _, tier := range t.tiers {
+		if ss, ok := tier.(sweepStatuser); ok {
+			return ss.SweepStatus()
+		}
+	}
+	return SweepStatus{}, ErrNoDispatcher
+}
+
 // remoteStatsOf extracts remote counters from any backend that carries them.
 func remoteStatsOf(b CacheBackend) (RemoteStats, bool) {
 	if rs, ok := b.(remoteStatser); ok {

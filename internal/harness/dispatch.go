@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultLeaseTTL is the lease duration gwcached grants a claimed cell when
+// no -lease-ttl is configured. It must comfortably exceed one cell's
+// simulation time at paper scale so healthy workers renew well before
+// expiry, while keeping the redispatch delay after a worker crash short
+// relative to a whole sweep.
+const DefaultLeaseTTL = 90 * time.Second
+
+// WorkItem is one cell of a distributed sweep manifest: the
+// content-addressed key plus the Spec a worker needs to simulate it. The
+// key is redundant with the Spec (it must equal Spec.Key()) and the
+// Dispatcher verifies the pair at submit time, so a manifest produced by a
+// client on incompatible code is rejected loudly instead of producing
+// cells that can never complete.
+type WorkItem struct {
+	Key   string `json:"key"`
+	Label string `json:"label,omitempty"`
+	Spec  Spec   `json:"spec"`
+}
+
+// SweepStatus is a point-in-time snapshot of a dispatched sweep.
+type SweepStatus struct {
+	// Total is how many distinct cells the manifest(s) submitted.
+	Total int `json:"total"`
+	// Pending cells are queued and unclaimed; Leased cells are held by a
+	// worker under an unexpired lease; Done cells have a published result.
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	// Reclaims counts expired leases returned to the queue — each one is a
+	// worker crash, partition, or stall the dispatcher recovered from.
+	Reclaims uint64 `json:"reclaims,omitempty"`
+}
+
+// Complete reports that a sweep was submitted and every cell finished.
+func (s SweepStatus) Complete() bool { return s.Total > 0 && s.Done == s.Total }
+
+// SubmitSummary reports what a manifest submission did.
+type SubmitSummary struct {
+	// Queued cells were new and entered the pending queue.
+	Queued int `json:"queued"`
+	// Cached cells already had a result in the store and were marked done
+	// without dispatch (this is how a server restart rebuilds a mid-sweep
+	// queue: resubmit the manifest; finished cells are skipped).
+	Cached int `json:"cached"`
+	// Known cells were already tracked by the dispatcher (idempotent
+	// resubmission); their state is unchanged.
+	Known int `json:"known"`
+	// Rejected cells had a malformed key or a key that does not match
+	// Spec.Key() on this server's code version.
+	Rejected int `json:"rejected"`
+}
+
+// cellState is the lease state machine: pending → leased → done, with
+// leased → pending on expiry (reap) and any state → done on a published
+// result (Complete tolerates completion after expiry — results are
+// content-addressed, so a late duplicate write is byte-identical).
+type cellState uint8
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+)
+
+// dispatchCell is one tracked cell.
+type dispatchCell struct {
+	item   WorkItem
+	state  cellState
+	worker string
+	expiry time.Time
+}
+
+// Dispatcher is the server-side work queue of a distributed sweep: a lease
+// table over the cells of one or more submitted manifests. Workers claim
+// batches of pending cells, renew their leases by heartbeat, and complete
+// cells implicitly by publishing results (the PUT /v1/cell path calls
+// Complete). Leases that expire — crashed worker, network partition, a
+// stall longer than the TTL — are returned to the queue by the reaper, so
+// every cell is eventually simulated by *some* worker: at-least-once
+// execution, made exactly-once-observable by the content-addressed store.
+//
+// A Dispatcher is mutex-guarded and safe for concurrent use; it has no
+// HTTP dependencies so the whole lease lifecycle is unit-testable.
+type Dispatcher struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	// now is the clock; tests substitute a manual one to drive expiry
+	// deterministically.
+	now func() time.Time
+
+	cells map[string]*dispatchCell
+	// queue holds pending keys in FIFO order. Entries can go stale (a
+	// queued cell completed by an out-of-band PUT stays in the slice);
+	// popLocked skips anything no longer pending.
+	queue []string
+
+	leased   int
+	done     int
+	reclaims uint64
+}
+
+// NewDispatcher returns an empty dispatcher granting leases of the given
+// TTL (<= 0 selects DefaultLeaseTTL).
+func NewDispatcher(ttl time.Duration) *Dispatcher {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Dispatcher{ttl: ttl, now: time.Now, cells: make(map[string]*dispatchCell)}
+}
+
+// TTL returns the lease duration granted to claimed cells.
+func (d *Dispatcher) TTL() time.Duration { return d.ttl }
+
+// Submit registers a manifest's cells. New cells are queued unless cached
+// reports their result already exists in the store, in which case they are
+// marked done immediately — resubmitting a manifest after a server restart
+// therefore rebuilds exactly the unfinished remainder of the sweep. Cells
+// already tracked are left untouched, so duplicate submissions (every
+// worker host running with -submit, say) are harmless. Cells whose key is
+// malformed or does not match their Spec are rejected and counted.
+func (d *Dispatcher) Submit(items []WorkItem, cached func(key string) bool) SubmitSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sum SubmitSummary
+	for _, it := range items {
+		if !ValidKey(it.Key) || it.Spec.Key() != it.Key {
+			sum.Rejected++
+			continue
+		}
+		if _, ok := d.cells[it.Key]; ok {
+			sum.Known++
+			continue
+		}
+		c := &dispatchCell{item: it}
+		if cached != nil && cached(it.Key) {
+			c.state = stateDone
+			d.done++
+			sum.Cached++
+		} else {
+			d.queue = append(d.queue, it.Key)
+			sum.Queued++
+		}
+		d.cells[it.Key] = c
+	}
+	return sum
+}
+
+// Claim leases up to max pending cells to worker and returns them with the
+// sweep's status. Expired leases are reaped first, so a claim arriving
+// after a worker crash hands out the crashed worker's cells. An empty item
+// list with an incomplete status means every remaining cell is leased
+// elsewhere: back off and claim again.
+func (d *Dispatcher) Claim(worker string, max int) ([]WorkItem, SweepStatus) {
+	if max <= 0 {
+		max = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reapLocked()
+	var out []WorkItem
+	for len(out) < max {
+		c, ok := d.popLocked()
+		if !ok {
+			break
+		}
+		c.state = stateLeased
+		c.worker = worker
+		c.expiry = d.now().Add(d.ttl)
+		d.leased++
+		out = append(out, c.item)
+	}
+	return out, d.statusLocked()
+}
+
+// Heartbeat renews worker's leases on keys and reports which were renewed
+// and which are lost — expired and reclaimed by another worker, or already
+// complete. A worker keeps simulating lost cells (the result is still
+// valid and idempotent to publish) but learns its lease is gone.
+func (d *Dispatcher) Heartbeat(worker string, keys []string) (renewed, lost []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reapLocked()
+	for _, k := range keys {
+		c, ok := d.cells[k]
+		if ok && c.state == stateLeased && c.worker == worker {
+			c.expiry = d.now().Add(d.ttl)
+			renewed = append(renewed, k)
+		} else {
+			lost = append(lost, k)
+		}
+	}
+	return renewed, lost
+}
+
+// Complete marks key done, from any state: pending (an out-of-band client
+// published the result), leased (the normal path), or leased-by-someone-
+// else after an expiry reclaim (completion-after-expiry; the second result
+// is byte-identical, last write wins). It reports whether the call changed
+// state; unknown keys — results outside any sweep — are a no-op.
+func (d *Dispatcher) Complete(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.cells[key]
+	if !ok || c.state == stateDone {
+		return false
+	}
+	if c.state == stateLeased {
+		d.leased--
+	}
+	c.state = stateDone
+	c.worker = ""
+	d.done++
+	return true
+}
+
+// Reap returns every expired lease to the pending queue and reports how
+// many it reclaimed. Claims and heartbeats reap lazily as well, so a
+// background reaper is an operational nicety (status accuracy, prompt
+// requeue while no worker is claiming), not a correctness requirement.
+func (d *Dispatcher) Reap() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reapLocked()
+}
+
+// Status returns the sweep's current counters.
+func (d *Dispatcher) Status() SweepStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reapLocked()
+	return d.statusLocked()
+}
+
+func (d *Dispatcher) reapLocked() int {
+	now := d.now()
+	n := 0
+	for k, c := range d.cells {
+		if c.state == stateLeased && c.expiry.Before(now) {
+			c.state = statePending
+			c.worker = ""
+			d.leased--
+			d.queue = append(d.queue, k)
+			d.reclaims++
+			n++
+		}
+	}
+	return n
+}
+
+// popLocked pops the next pending cell, discarding stale queue entries.
+func (d *Dispatcher) popLocked() (*dispatchCell, bool) {
+	for len(d.queue) > 0 {
+		k := d.queue[0]
+		d.queue = d.queue[1:]
+		if c, ok := d.cells[k]; ok && c.state == statePending {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (d *Dispatcher) statusLocked() SweepStatus {
+	total := len(d.cells)
+	return SweepStatus{
+		Total:    total,
+		Pending:  total - d.leased - d.done,
+		Leased:   d.leased,
+		Done:     d.done,
+		Reclaims: d.reclaims,
+	}
+}

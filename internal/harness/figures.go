@@ -28,9 +28,8 @@ func Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
 	return NewRunner(0).Fig1(w, opt)
 }
 
-// Fig1 is Fig1 on this Runner: the (kernel × thread-count) grid runs on the
-// worker pool, then the table prints in sweep order.
-func (r *Runner) Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
+// fig1Jobs lays out the Fig. 1 (kernel × thread-count) grid.
+func fig1Jobs(opt Options) []Job {
 	apps := []string{"bad_dot_product", "priv_dot_product"}
 	var jobs []Job
 	for _, n := range fig1Threads {
@@ -43,7 +42,13 @@ func (r *Runner) Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
 			})
 		}
 	}
-	cells := r.Run(jobs)
+	return jobs
+}
+
+// Fig1 is Fig1 on this Runner: the (kernel × thread-count) grid runs on the
+// worker pool, then the table prints in sweep order.
+func (r *Runner) Fig1(w io.Writer, opt Options) ([]Fig1Point, error) {
+	cells := r.Run(fig1Jobs(opt))
 	if err := firstErr(cells); err != nil {
 		return nil, err
 	}
@@ -85,8 +90,9 @@ func Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
 	return NewRunner(0).Fig2(w, opt)
 }
 
-// Fig2 is Fig2 on this Runner.
-func (r *Runner) Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
+// fig2Jobs lays out the Fig. 2 profiler grid: one baseline run per suite
+// application with the similarity profiler on.
+func fig2Jobs(opt Options) []Job {
 	suite := workloads.Suite()
 	jobs := make([]Job, 0, len(suite))
 	for _, f := range suite {
@@ -95,7 +101,13 @@ func (r *Runner) Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
 			Spec:  specFor(f.Name, opt, 0, true, ghostwriter.PolicyHybrid),
 		})
 	}
-	cells := r.Run(jobs)
+	return jobs
+}
+
+// Fig2 is Fig2 on this Runner.
+func (r *Runner) Fig2(w io.Writer, opt Options) ([]Fig2Row, error) {
+	suite := workloads.Suite()
+	cells := r.Run(fig2Jobs(opt))
 	if err := firstErr(cells); err != nil {
 		return nil, err
 	}
@@ -224,15 +236,20 @@ func Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
 	return NewRunner(0).Fig12(w, opt)
 }
 
-// Fig12 is Fig12 on this Runner.
-func (r *Runner) Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
+// fig12Jobs lays out the Fig. 12 GI-timeout sensitivity grid.
+func fig12Jobs(opt Options) []Job {
 	jobs := make([]Job, 0, len(fig12Timeouts))
 	for _, to := range fig12Timeouts {
 		s := specFor("bad_dot_product", opt, 4, false, ghostwriter.PolicyHybrid)
 		s.Config.GITimeout = to
 		jobs = append(jobs, Job{Label: fmt.Sprintf("fig12 timeout=%d", to), Spec: s})
 	}
-	cells := r.Run(jobs)
+	return jobs
+}
+
+// Fig12 is Fig12 on this Runner.
+func (r *Runner) Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
+	cells := r.Run(fig12Jobs(opt))
 	if err := firstErr(cells); err != nil {
 		return nil, err
 	}
@@ -318,9 +335,8 @@ func ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
 	return NewRunner(0).ScaleTrend(w, opt, scales)
 }
 
-// ScaleTrend is ScaleTrend on this Runner: all (scale × d) cells run on the
-// pool before the table prints.
-func (r *Runner) ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
+// trendJobs lays out the scale-trend (scale × d) grid.
+func trendJobs(opt Options, scales []int) []Job {
 	var jobs []Job
 	for _, sc := range scales {
 		o := opt
@@ -332,7 +348,13 @@ func (r *Runner) ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoin
 			})
 		}
 	}
-	cells := r.Run(jobs)
+	return jobs
+}
+
+// ScaleTrend is ScaleTrend on this Runner: all (scale × d) cells run on the
+// pool before the table prints.
+func (r *Runner) ScaleTrend(w io.Writer, opt Options, scales []int) ([]TrendPoint, error) {
+	cells := r.Run(trendJobs(opt, scales))
 	if err := firstErr(cells); err != nil {
 		return nil, err
 	}

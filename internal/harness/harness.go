@@ -14,6 +14,7 @@ package harness
 
 import (
 	"fmt"
+	"reflect"
 
 	ghostwriter "ghostwriter"
 	"ghostwriter/internal/quality"
@@ -43,6 +44,13 @@ type RunResult struct {
 	Energy  ghostwriter.EnergyMeter
 	// ErrorPct is the application's Table 2 metric, in percent.
 	ErrorPct float64
+}
+
+// IsZero reports whether r is the all-zero RunResult — what decoding `{}`
+// yields. No simulation produces one (App is always set), so cache layers
+// treat a zero result as a client bug and refuse to publish it.
+func (r *RunResult) IsZero() bool {
+	return reflect.DeepEqual(*r, RunResult{})
 }
 
 // GSFrac returns the Fig. 7a metric: the fraction of stores that would

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+
+	"ghostwriter/internal/workloads"
+)
+
+// Manifest enumerates the cells of one gwsweep experiment as dispatchable
+// WorkItems — the same grids the figure functions run, deduplicated by
+// content-addressed key (the suite figures share one grid, and "all"
+// overlaps several). A client POSTs the manifest to a dispatch-enabled
+// gwcached and any number of `gwsweep -worker` hosts partition it; once
+// the sweep completes, a plain `gwsweep -remote` on any host assembles the
+// full evaluation from the shared store with zero simulations.
+//
+// tab1 and tab2 are static tables with no simulations, so their manifests
+// are empty.
+func Manifest(exp string, opt Options) ([]WorkItem, error) {
+	var jobs []Job
+	switch exp {
+	case "all":
+		jobs = append(jobs, fig1Jobs(opt)...)
+		jobs = append(jobs, fig2Jobs(opt)...)
+		jobs = append(jobs, suiteJobs(workloads.Suite(), opt)...)
+		jobs = append(jobs, fig12Jobs(opt)...)
+		jobs = append(jobs, suiteJobs(workloads.Extensions(), opt)...)
+	case "fig1":
+		jobs = fig1Jobs(opt)
+	case "fig2":
+		jobs = fig2Jobs(opt)
+	case "fig7", "fig8", "fig9", "fig10", "fig11":
+		jobs = suiteJobs(workloads.Suite(), opt)
+	case "fig12":
+		jobs = fig12Jobs(opt)
+	case "ext":
+		jobs = suiteJobs(workloads.Extensions(), opt)
+	case "trend":
+		jobs = trendJobs(opt, []int{1, 2, 4})
+	case "tab1", "tab2":
+		// Static tables: nothing to simulate.
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q", exp)
+	}
+	seen := make(map[string]bool, len(jobs))
+	items := make([]WorkItem, 0, len(jobs))
+	for _, j := range jobs {
+		key := j.Spec.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		items = append(items, WorkItem{Key: key, Label: j.Label, Spec: j.Spec})
+	}
+	return items, nil
+}

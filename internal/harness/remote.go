@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -154,12 +155,22 @@ func (c *RemoteCache) Put(key string, r *RunResult) error {
 	return nil
 }
 
-// do issues one request with bounded retries. Transport errors and 5xx
-// responses are retried with exponential backoff + jitter; 2xx/4xx are
-// returned to the caller. If the final failure was at the transport level
-// the server is unreachable and the client degrades.
+// do issues one cell request with bounded retries and the one-shot
+// degradation policy: if the final failure was at the transport level the
+// server is unreachable and the client degrades to local-only.
 func (c *RemoteCache) do(method, key string, body []byte) ([]byte, int, error) {
-	endpoint := c.base + "/v1/cell/" + key
+	return c.roundTrip(method, c.base+"/v1/cell/"+key, body, true)
+}
+
+// roundTrip issues one request with bounded retries. Transport errors and
+// 5xx responses are retried with exponential backoff + jitter; 2xx/4xx are
+// returned to the caller. degrade selects the failure policy: cell traffic
+// (Get/Put) flips the permanent local-only switch on transport failure —
+// the sweep has a correct local fallback — while fleet-dispatch traffic
+// (claim/heartbeat/complete) must not, because a worker has no local
+// fallback and needs to ride out a gwcached restart; the WorkerPool
+// supplies its own patience window on top of the returned error.
+func (c *RemoteCache) roundTrip(method, endpoint string, body []byte, degrade bool) ([]byte, int, error) {
 	var (
 		lastErr   error
 		transport bool
@@ -197,7 +208,7 @@ func (c *RemoteCache) do(method, key string, body []byte) ([]byte, int, error) {
 		c.sleep(attempt)
 	}
 	c.errs.Add(1)
-	if transport {
+	if degrade && transport {
 		c.degrade(lastErr)
 	}
 	return nil, 0, lastErr
@@ -234,6 +245,94 @@ type RemoteStats struct {
 	// Degraded reports that the client gave up on the server and the sweep
 	// finished on local tiers only.
 	Degraded bool `json:"degraded,omitempty"`
+}
+
+// ErrNoDispatcher reports a gwcached that serves only the storage
+// protocol: its /v1 sweep endpoints answer 404 because it was built
+// without a Dispatcher.
+var ErrNoDispatcher = errors.New("harness: remote server has no work dispatcher")
+
+// dispatchJSON runs one fleet-dispatch RPC: JSON in, JSON out, bounded
+// retries, no permanent degradation (see roundTrip).
+func (c *RemoteCache) dispatchJSON(method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("harness: dispatch %s: %w", path, err)
+		}
+		body = b
+	}
+	respBody, status, err := c.roundTrip(method, c.base+path, body, false)
+	if err != nil {
+		return fmt.Errorf("harness: dispatch %s: %w", path, err)
+	}
+	if status == http.StatusNotFound {
+		return ErrNoDispatcher
+	}
+	if status/100 != 2 {
+		c.errs.Add(1)
+		return fmt.Errorf("harness: dispatch %s: server returned %d: %s", path, status, strings.TrimSpace(string(respBody)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(respBody, out); err != nil {
+			c.errs.Add(1)
+			return fmt.Errorf("harness: dispatch %s: undecodable response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// SubmitSweep posts a grid manifest for fleet dispatch.
+func (c *RemoteCache) SubmitSweep(cells []WorkItem) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.dispatchJSON(http.MethodPost, "/v1/sweep", SweepManifest{Cells: cells}, &out)
+	return out, err
+}
+
+// ClaimWork leases up to max pending cells for worker.
+func (c *RemoteCache) ClaimWork(worker string, max int) (ClaimResponse, error) {
+	var out ClaimResponse
+	err := c.dispatchJSON(http.MethodPost, "/v1/claim", ClaimRequest{Worker: worker, Max: max}, &out)
+	return out, err
+}
+
+// HeartbeatWork renews worker's leases on keys.
+func (c *RemoteCache) HeartbeatWork(worker string, keys []string) (HeartbeatResponse, error) {
+	var out HeartbeatResponse
+	err := c.dispatchJSON(http.MethodPost, "/v1/heartbeat", HeartbeatRequest{Worker: worker, Keys: keys}, &out)
+	return out, err
+}
+
+// SweepStatus fetches the dispatcher's counters.
+func (c *RemoteCache) SweepStatus() (SweepStatus, error) {
+	var out SweepStatus
+	err := c.dispatchJSON(http.MethodGet, "/v1/sweep", nil, &out)
+	return out, err
+}
+
+// CompleteWork publishes a finished cell and thereby marks it done on the
+// dispatcher — the same idempotent PUT as the cache tier's Put, but on the
+// non-degrading dispatch path so a worker can keep completing cells across
+// a gwcached restart.
+func (c *RemoteCache) CompleteWork(key string, r *RunResult) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("harness: complete: malformed key %q", key)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("harness: complete: %w", err)
+	}
+	body, status, err := c.roundTrip(http.MethodPut, c.base+"/v1/cell/"+key, b, false)
+	if err != nil {
+		return fmt.Errorf("harness: complete: %w", err)
+	}
+	if status/100 != 2 {
+		c.errs.Add(1)
+		return fmt.Errorf("harness: complete: server returned %d: %s", status, strings.TrimSpace(string(body)))
+	}
+	c.puts.Add(1)
+	return nil
 }
 
 // RemoteStats returns the client's counters; the bool is always true and

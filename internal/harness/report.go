@@ -37,6 +37,11 @@ type TimingReport struct {
 	// against a gwcached server. The counters are cumulative for the
 	// Runner's backend (remote traffic is not bracketed per report build).
 	Remote *RemoteStats `json:"remote,omitempty"`
+	// Fleet carries the dispatch counters of the server-side sweep when the
+	// backend fronts a dispatch-enabled gwcached with a submitted manifest —
+	// the record that this report was assembled from fleet-produced cells,
+	// including how many crashed leases the dispatcher reclaimed.
+	Fleet *SweepStatus `json:"fleet,omitempty"`
 	// Cells lists every cell in grid order with its wall-clock cost.
 	Cells []CellTiming `json:"cells,omitempty"`
 }
@@ -148,6 +153,13 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 	if r.Cache != nil {
 		if rs, ok := remoteStatsOf(r.Cache); ok {
 			rep.Timing.Remote = &rs
+		}
+		// Best-effort: a cache-only server, a dead server, or a dispatcher
+		// with no submitted sweep all simply leave the section out.
+		if ss, ok := r.Cache.(sweepStatuser); ok {
+			if st, err := ss.SweepStatus(); err == nil && st.Total > 0 {
+				rep.Timing.Fleet = &st
+			}
 		}
 	}
 	return rep, nil

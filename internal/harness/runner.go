@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -115,6 +116,17 @@ func (r *Runner) Failures() uint64 { return r.failures.Load() }
 // Cells run concurrently on the worker pool; a failing or panicking cell
 // yields an error in its slot without affecting the others.
 func (r *Runner) Run(jobs []Job) []CellResult {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done, no
+// further cell is dispatched and every undispatched cell comes back with
+// ctx's error in its slot. Cells already simulating run to completion —
+// simulations are not interruptible — so RunContext returns promptly after
+// in-flight cells finish. The fleet WorkerPool leans on this to abandon a
+// claimed batch when its process is asked to die, leaving the abandoned
+// cells to lease expiry and redispatch.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) []CellResult {
 	out := make([]CellResult, len(jobs))
 	if len(jobs) == 0 {
 		return out
@@ -139,8 +151,18 @@ func (r *Runner) Run(jobs []Job) []CellResult {
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idx <- i
+		select {
+		case <-ctx.Done():
+			// Distinct slots: the workers only ever write indices that were
+			// sent on idx, and i onward never are.
+			for j := i; j < len(jobs); j++ {
+				out[j] = CellResult{Job: jobs[j], Err: ctx.Err()}
+			}
+			break dispatch
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -5,36 +5,105 @@ import (
 	"net/http"
 )
 
+// maxManifestBytes bounds one POST /v1/sweep body. A WorkItem is ~1 KiB of
+// JSON, so this admits sweeps of tens of thousands of cells while keeping
+// a hostile client from exhausting server memory.
+const maxManifestBytes = 64 << 20
+
 // cacheStatser is implemented by backends that track activity counters.
 type cacheStatser interface {
 	Stats() CacheStats
 }
 
-// NewCacheServer returns the gwcached HTTP handler: a content-addressed
-// key→result store over backend. The protocol is two verbs on one
-// resource —
+// SweepManifest is the POST /v1/sweep request body: the cells of one sweep.
+type SweepManifest struct {
+	Cells []WorkItem `json:"cells"`
+}
+
+// SubmitResponse is the POST /v1/sweep response.
+type SubmitResponse struct {
+	SubmitSummary
+	Status SweepStatus `json:"status"`
+}
+
+// ClaimRequest is the POST /v1/claim request body.
+type ClaimRequest struct {
+	// Worker identifies the claimant for lease tracking; required.
+	Worker string `json:"worker"`
+	// Max bounds the batch size (<= 0 claims one cell).
+	Max int `json:"max"`
+}
+
+// ClaimResponse is the POST /v1/claim response. An empty Items with an
+// incomplete Status means every unfinished cell is leased elsewhere — back
+// off and claim again; with Status.Complete() the sweep is drained and the
+// worker can exit.
+type ClaimResponse struct {
+	Items []WorkItem `json:"items"`
+	// TTLMS is the lease duration in milliseconds; workers heartbeat well
+	// inside it (the WorkerPool renews every TTL/3).
+	TTLMS  int64       `json:"ttlMs"`
+	Status SweepStatus `json:"status"`
+}
+
+// HeartbeatRequest is the POST /v1/heartbeat request body.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Keys   []string `json:"keys"`
+}
+
+// HeartbeatResponse lists which leases were renewed and which are lost
+// (expired and reclaimed, or already complete).
+type HeartbeatResponse struct {
+	Renewed []string `json:"renewed,omitempty"`
+	Lost    []string `json:"lost,omitempty"`
+	TTLMS   int64    `json:"ttlMs"`
+}
+
+// NewCacheServer returns the storage-only gwcached HTTP handler: a
+// content-addressed key→result store over backend. The protocol is two
+// verbs on one resource —
 //
 //	GET  /v1/cell/<key>  → 200 + RunResult JSON, or 404
 //	PUT  /v1/cell/<key>  → 204 on store, 400 on malformed key/body
 //
-// plus GET /v1/stats (backend counters, when the backend tracks them) and
-// GET /healthz for load-balancer probes. Keys are validated to the
-// Spec.Key() shape at the boundary and PUT bodies must decode as a
-// RunResult, so a buggy or hostile client cannot plant undecodable
-// entries that every sweep host would then re-download and discard.
+// plus GET /v1/stats (backend counters; zero counters when the backend
+// tracks none) and GET /healthz for load-balancer probes. Keys are
+// validated to the Spec.Key() shape at the boundary, and PUT bodies must
+// decode as a non-empty RunResult, so a buggy or hostile client can plant
+// neither undecodable entries nor vacuous all-zero results the whole fleet
+// would then trust.
 func NewCacheServer(backend CacheBackend) http.Handler {
+	return NewDispatchServer(backend, nil)
+}
+
+// NewDispatchServer is NewCacheServer plus the fleet work-dispatch
+// protocol over d (skipped when d is nil):
+//
+//	POST /v1/sweep      → submit a grid manifest (cells not already stored
+//	                      are queued; cached ones are marked done)
+//	POST /v1/claim      → lease a batch of pending cells
+//	POST /v1/heartbeat  → renew leases mid-simulation
+//	GET  /v1/sweep      → sweep status counters
+//
+// Completion needs no endpoint of its own: the existing idempotent
+// PUT /v1/cell/<key> both stores the result and marks the cell done, so
+// at-least-once execution (a lease can expire and redispatch a cell that
+// is still being simulated) converges on exactly-once-observable results.
+func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
-		cs, ok := backend.(cacheStatser)
-		if !ok {
-			http.Error(w, "backend tracks no stats", http.StatusNotFound)
-			return
+		// A backend without counters answers zeros rather than 404 so fleet
+		// monitoring scripts never special-case the status code.
+		var stats CacheStats
+		if cs, ok := backend.(cacheStatser); ok {
+			stats = cs.Stats()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(cs.Stats())
+		writeJSONResponse(w, stats)
 	})
 	mux.HandleFunc("GET /v1/cell/{key}", func(w http.ResponseWriter, req *http.Request) {
 		key := req.PathValue("key")
@@ -47,8 +116,7 @@ func NewCacheServer(backend CacheBackend) http.Handler {
 			http.Error(w, "not found", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(r)
+		writeJSONResponse(w, r)
 	})
 	mux.HandleFunc("PUT /v1/cell/{key}", func(w http.ResponseWriter, req *http.Request) {
 		key := req.PathValue("key")
@@ -62,11 +130,62 @@ func NewCacheServer(backend CacheBackend) http.Handler {
 			http.Error(w, "body is not a RunResult: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		if r.IsZero() {
+			http.Error(w, "empty RunResult", http.StatusBadRequest)
+			return
+		}
 		if err := backend.Put(key, &r); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		if d != nil {
+			d.Complete(key)
+		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	if d == nil {
+		return mux
+	}
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, req *http.Request) {
+		var man SweepManifest
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxManifestBytes))
+		if err := dec.Decode(&man); err != nil {
+			http.Error(w, "body is not a sweep manifest: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sum := d.Submit(man.Cells, func(key string) bool {
+			_, ok := backend.Get(key)
+			return ok
+		})
+		writeJSONResponse(w, SubmitResponse{SubmitSummary: sum, Status: d.Status()})
+	})
+	mux.HandleFunc("POST /v1/claim", func(w http.ResponseWriter, req *http.Request) {
+		var cr ClaimRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxEntryBytes))
+		if err := dec.Decode(&cr); err != nil || cr.Worker == "" {
+			http.Error(w, "body is not a claim (worker required)", http.StatusBadRequest)
+			return
+		}
+		items, status := d.Claim(cr.Worker, cr.Max)
+		writeJSONResponse(w, ClaimResponse{Items: items, TTLMS: d.TTL().Milliseconds(), Status: status})
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, req *http.Request) {
+		var hr HeartbeatRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxEntryBytes))
+		if err := dec.Decode(&hr); err != nil || hr.Worker == "" {
+			http.Error(w, "body is not a heartbeat (worker required)", http.StatusBadRequest)
+			return
+		}
+		renewed, lost := d.Heartbeat(hr.Worker, hr.Keys)
+		writeJSONResponse(w, HeartbeatResponse{Renewed: renewed, Lost: lost, TTLMS: d.TTL().Milliseconds()})
+	})
+	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, req *http.Request) {
+		writeJSONResponse(w, d.Status())
+	})
 	return mux
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }
