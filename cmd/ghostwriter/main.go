@@ -16,12 +16,19 @@ import (
 
 	ghostwriter "ghostwriter"
 	"ghostwriter/internal/harness"
+	"ghostwriter/internal/prof"
 	"ghostwriter/internal/quality"
 	"ghostwriter/internal/stats"
 	"ghostwriter/internal/workloads"
 )
 
+// main delegates to realMain so profile flushing (deferred there) survives
+// the explicit exit code.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		app     = flag.String("app", "linear_regression", "benchmark name (see -list)")
 		d       = flag.Int("d", 8, "d-distance (0 = baseline MESI)")
@@ -38,30 +45,40 @@ func main() {
 		migOpt  = flag.Bool("migratory", false, "enable the Stenström-style migratory optimization in the base protocol")
 		bound   = flag.Uint("bound", 0, "error-bound monitor: max hidden writes per GS/GI residency (0 = off)")
 		adaptGI = flag.Bool("adaptive-gi", false, "let each controller adapt its GI sweep period")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
+		return 1
+	}
+	defer stopProf()
+
 	if *config {
 		harness.Table1(os.Stdout)
-		return
+		return 0
 	}
 	if *list {
 		harness.Table2(os.Stdout, harness.Options{Scale: *scale, Threads: *threads})
 		fmt.Println("plus microbenchmarks: bad_dot_product, priv_dot_product")
-		return
+		return 0
 	}
 	if *tune >= 0 {
 		if err := autotune(*app, *scale, *threads, *tune); err != nil {
 			fmt.Fprintln(os.Stderr, "ghostwriter:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	knobs := extraKnobs{msi: *msi, migratory: *migOpt, bound: uint32(*bound), adaptiveGI: *adaptGI}
 	if err := run(*app, *d, *threads, *scale, *policy, *timeout, *cores, *nocHot, knobs); err != nil {
 		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // autotune sweeps the d-distance and reports the most aggressive setting

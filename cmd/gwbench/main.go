@@ -1,0 +1,119 @@
+// Command gwbench runs the pinned simulator benchmark suite and manages the
+// BENCH_<n>.json performance trajectory.
+//
+//	gwbench -list                          # show the pinned suite
+//	gwbench -iters 3 -out BENCH_2.json     # measure and snapshot
+//	gwbench -baseline old.json -out B.json # embed a pre-change baseline
+//	gwbench -compare BENCH_1.json          # exit 1 on >threshold regression
+//
+// Numbers are host-dependent; comparisons across different host
+// fingerprints are printed with a warning. Render the trajectory with
+// `gwplot -bench 'BENCH_*.json'`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostwriter/internal/bench"
+)
+
+func main() {
+	var (
+		iters     = flag.Int("iters", 3, "timed iterations per case")
+		out       = flag.String("out", "", "write snapshot JSON to this file")
+		baseline  = flag.String("baseline", "", "embed this earlier snapshot as the baseline section")
+		compare   = flag.String("compare", "", "compare against this snapshot; exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.2, "ns/op regression threshold (0.2 = 20%)")
+		list      = flag.Bool("list", false, "list the pinned suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range bench.Suite() {
+			fmt.Printf("%-24s app=%s d=%d scale=%d threads=%d\n", c.Name, c.App, c.DDist, c.Scale, c.Threads)
+		}
+		return
+	}
+
+	snap, err := bench.Take(*iters, func(name string) {
+		fmt.Fprintf(os.Stderr, "gwbench: running %s (%d iters)\n", name, *iters)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwbench:", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwbench: baseline:", err)
+			os.Exit(1)
+		}
+		snap.Baseline = base
+	}
+
+	render(snap)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gwbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gwbench: wrote %s\n", *out)
+	}
+
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwbench: compare:", err)
+			os.Exit(1)
+		}
+		if base.Host != snap.Host {
+			fmt.Fprintf(os.Stderr, "gwbench: warning: comparing across hosts (%+v vs %+v)\n", snap.Host, base.Host)
+		}
+		regs := bench.Compare(snap, base, *threshold)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "gwbench: REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gwbench: no regression vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
+	}
+}
+
+func load(path string) (*bench.Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s bench.Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != bench.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, bench.Schema)
+	}
+	return &s, nil
+}
+
+func render(s *bench.Snapshot) {
+	fmt.Printf("%-24s %14s %12s %16s %14s\n", "case", "ns/op", "allocs/op", "sim-cycles/sec", "events/sec")
+	for _, r := range s.Results {
+		fmt.Printf("%-24s %14.0f %12.0f %16.3e %14.3e\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.SimCyclesPerSec, r.EventsPerSec)
+	}
+	if s.Baseline != nil {
+		cyc, alloc := bench.Speedup(s, s.Baseline)
+		fmt.Printf("vs baseline (%s): %.2fx sim-cycles/sec, %.1fx fewer allocs/op\n",
+			s.Baseline.Generated, cyc, alloc)
+	}
+}

@@ -44,9 +44,16 @@ import (
 	"time"
 
 	"ghostwriter/internal/harness"
+	"ghostwriter/internal/prof"
 )
 
+// main delegates to realMain so the deferred profile flush runs before the
+// process exits, on every exit path.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|tab1|tab2|ext|trend")
 		scale    = flag.Int("scale", 1, "input scale factor")
@@ -62,9 +69,19 @@ func main() {
 		idleExit = flag.Duration("idle-exit", 0, "exit -worker mode after this long with no work (0 = wait indefinitely)")
 		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
 		jsonPath = flag.String("json", "", "also write the full evaluation as JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	opt := harness.Options{Scale: *scale, Threads: *threads}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwsweep:", err)
+		return 1
+	}
+	defer stopProf()
+	start := time.Now()
 
 	r := harness.NewRunner(*jobs)
 	if !*quiet {
@@ -85,14 +102,14 @@ func main() {
 		c, err := harness.NewRemoteCache(harness.RemoteConfig{URL: *remote})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gwsweep:", err)
-			os.Exit(2)
+			return 2
 		}
 		rc = c
 	}
 	if *submit || *worker {
 		if rc == nil {
 			fmt.Fprintln(os.Stderr, "gwsweep: -submit and -worker require -remote")
-			os.Exit(2)
+			return 2
 		}
 		// A fleet worker resolves cells through its local disk tier only:
 		// a dispatched cell is by construction absent from the server, and
@@ -109,9 +126,9 @@ func main() {
 			quiet:    *quiet,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "gwsweep:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	switch {
 	case rc != nil:
@@ -129,12 +146,12 @@ func main() {
 
 	if err := run(r, *exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gwsweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *jsonPath != "" {
 		if err := writeJSON(r, *jsonPath, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "gwsweep:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if !*quiet {
@@ -144,6 +161,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, ", %d failed", f)
 		}
 		fmt.Fprintln(os.Stderr)
+		if wall := time.Since(start).Seconds(); wall > 0 && r.Simulated() > 0 {
+			fmt.Fprintf(os.Stderr, "gwsweep: %.2f cells/sec, %.3g sim-cycles/sec over %s wall\n",
+				float64(r.Simulated())/wall, float64(r.SimCycles())/wall,
+				time.Since(start).Round(time.Millisecond))
+		}
 		if rc != nil {
 			s, _ := rc.RemoteStats()
 			fmt.Fprintf(os.Stderr, "gwsweep: remote cache: %d hits, %d misses, %d puts, %d errors",
@@ -154,6 +176,7 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+	return 0
 }
 
 // fleetConfig bundles the -submit/-worker knobs.

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) *Snapshot {
+	return &Snapshot{Schema: Schema, Host: CurrentHost(), Results: results}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := snap(Result{Name: "a/d0", NsPerOp: 1000}, Result{Name: "b/d8", NsPerOp: 2000})
+	cur := snap(Result{Name: "a/d0", NsPerOp: 1100}, Result{Name: "b/d8", NsPerOp: 1500})
+	if regs := Compare(cur, base, 0.2); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := snap(Result{Name: "a/d0", NsPerOp: 1000}, Result{Name: "b/d8", NsPerOp: 2000})
+	cur := snap(Result{Name: "a/d0", NsPerOp: 1300}, Result{Name: "b/d8", NsPerOp: 2100})
+	regs := Compare(cur, base, 0.2)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly one regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "a/d0") {
+		t.Fatalf("regression does not name the case: %q", regs[0])
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := snap(Result{Name: "a/d0", NsPerOp: 1000})
+	// Exactly at the threshold is not a regression; just above is.
+	if regs := Compare(snap(Result{Name: "a/d0", NsPerOp: 1200}), base, 0.2); len(regs) != 0 {
+		t.Fatalf("at-threshold flagged: %v", regs)
+	}
+	if regs := Compare(snap(Result{Name: "a/d0", NsPerOp: 1201}), base, 0.2); len(regs) != 1 {
+		t.Fatalf("above-threshold not flagged: %v", regs)
+	}
+}
+
+func TestCompareIgnoresSuiteDrift(t *testing.T) {
+	base := snap(Result{Name: "gone/d0", NsPerOp: 1})
+	cur := snap(Result{Name: "new/d0", NsPerOp: 1e9})
+	if regs := Compare(cur, base, 0.2); len(regs) != 0 {
+		t.Fatalf("mismatched cases flagged: %v", regs)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := snap(
+		Result{Name: "a/d0", SimCyclesPerSec: 1e6, AllocsPerOp: 1000},
+		Result{Name: "b/d8", SimCyclesPerSec: 2e6, AllocsPerOp: 4000},
+	)
+	cur := snap(
+		Result{Name: "a/d0", SimCyclesPerSec: 2e6, AllocsPerOp: 100},
+		Result{Name: "b/d8", SimCyclesPerSec: 4e6, AllocsPerOp: 400},
+	)
+	cyc, alloc := Speedup(cur, base)
+	if cyc < 1.99 || cyc > 2.01 {
+		t.Fatalf("cycles/sec geomean = %v, want ~2", cyc)
+	}
+	if alloc < 9.9 || alloc > 10.1 {
+		t.Fatalf("alloc factor geomean = %v, want ~10", alloc)
+	}
+}
+
+func TestSpeedupAllocFloor(t *testing.T) {
+	// A case driven to zero allocs must not blow up the geomean.
+	base := snap(Result{Name: "a/d0", SimCyclesPerSec: 1e6, AllocsPerOp: 50})
+	cur := snap(Result{Name: "a/d0", SimCyclesPerSec: 1e6, AllocsPerOp: 0})
+	_, alloc := Speedup(cur, base)
+	if alloc != 50 {
+		t.Fatalf("alloc factor = %v, want 50 (floored at 1 alloc/op)", alloc)
+	}
+}
+
+// TestRunSmoke exercises the measurement bracket on the cheapest case.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	r, err := Run(Case{Name: "smoke", App: "bad_dot_product", DDist: 0, Scale: 1, Threads: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerOp <= 0 || r.SimCycles == 0 || r.Events == 0 {
+		t.Fatalf("implausible measurement: %+v", r)
+	}
+	if r.SimCyclesPerSec <= 0 || r.EventsPerSec <= 0 {
+		t.Fatalf("throughputs not derived: %+v", r)
+	}
+}

@@ -127,10 +127,13 @@ type Config struct {
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockSize) }
 
-// Cache is a set-associative array with tree pseudo-LRU replacement.
+// Cache is a set-associative array with tree pseudo-LRU replacement. All
+// frames live in one flat slice (set si spans blocks[si*Ways:(si+1)*Ways])
+// and all block data in one slab, sliced per frame at construction — two
+// allocations total, cache-friendly iteration.
 type Cache struct {
 	cfg       Config
-	sets      [][]Block
+	blocks    []Block
 	plru      []uint64 // one PLRU tree (bit field) per set
 	setShift  uint
 	setMask   uint64
@@ -156,7 +159,7 @@ func New(cfg Config) *Cache {
 	}
 	c := &Cache{
 		cfg:       cfg,
-		sets:      make([][]Block, nsets),
+		blocks:    make([]Block, nsets*cfg.Ways),
 		plru:      make([]uint64, nsets),
 		setMask:   uint64(nsets - 1),
 		blockMask: uint64(cfg.BlockSize - 1),
@@ -164,14 +167,16 @@ func New(cfg Config) *Cache {
 	for shift := uint(0); 1<<shift < cfg.BlockSize; shift++ {
 		c.setShift = shift + 1
 	}
-	for i := range c.sets {
-		ways := make([]Block, cfg.Ways)
-		for w := range ways {
-			ways[w].Data = make([]byte, cfg.BlockSize)
-		}
-		c.sets[i] = ways
+	slab := make([]byte, len(c.blocks)*cfg.BlockSize)
+	for i := range c.blocks {
+		c.blocks[i].Data = slab[i*cfg.BlockSize : (i+1)*cfg.BlockSize : (i+1)*cfg.BlockSize]
 	}
 	return c
+}
+
+// set returns the frames of set si.
+func (c *Cache) set(si int) []Block {
+	return c.blocks[si*c.cfg.Ways : (si+1)*c.cfg.Ways]
 }
 
 // Config returns the cache geometry.
@@ -194,7 +199,7 @@ func (c *Cache) tag(a mem.Addr) uint64 { return uint64(a) >> c.setShift >> trail
 // Lookup returns the frame holding the block containing a, if the tag is
 // present (in any state, including Invalid). It does not update PLRU.
 func (c *Cache) Lookup(a mem.Addr) *Block {
-	set := c.sets[c.SetIndex(a)]
+	set := c.set(c.SetIndex(a))
 	tag := c.tag(a)
 	for w := range set {
 		if set[w].Valid && set[w].Tag == tag {
@@ -207,7 +212,7 @@ func (c *Cache) Lookup(a mem.Addr) *Block {
 // Touch marks the frame holding address a as most-recently used.
 func (c *Cache) Touch(a mem.Addr) {
 	si := c.SetIndex(a)
-	set := c.sets[si]
+	set := c.set(si)
 	tag := c.tag(a)
 	for w := range set {
 		if set[w].Valid && set[w].Tag == tag {
@@ -240,7 +245,7 @@ func (c *Cache) touchWay(si, w int) {
 // is already incoherent), otherwise the PLRU way.
 func (c *Cache) VictimWay(a mem.Addr) *Block {
 	si := c.SetIndex(a)
-	set := c.sets[si]
+	set := c.set(si)
 	for w := range set {
 		if !set[w].Valid {
 			return &set[w]
@@ -293,11 +298,9 @@ func (c *Cache) Evict(b *Block) {
 
 // ForEach calls fn for every valid frame, in deterministic set/way order.
 func (c *Cache) ForEach(fn func(setIndex int, b *Block)) {
-	for si := range c.sets {
-		for w := range c.sets[si] {
-			if c.sets[si][w].Valid {
-				fn(si, &c.sets[si][w])
-			}
+	for i := range c.blocks {
+		if c.blocks[i].Valid {
+			fn(i/c.cfg.Ways, &c.blocks[i])
 		}
 	}
 }

@@ -101,7 +101,11 @@ type Directory struct {
 	st    *stats.Stats
 	cfg   DirConfig
 	dram  *dram.Channel
-	lines map[mem.Addr]*dirLine
+	pool  *MsgPool
+	lines lineTable
+	// dispatchFn is bound once; the scheduled argument is the busy line,
+	// whose cur field carries the request being dispatched.
+	dispatchFn func(any)
 	// resident tracks the addresses whose lines hold L2 data, in fill
 	// order; the eviction scan walks it round-robin.
 	resident []mem.Addr
@@ -112,7 +116,7 @@ type Directory struct {
 // channel for blocks not present in its L2 bank.
 func NewDirectory(id int, node noc.NodeID, eng *sim.Engine, net *noc.Network,
 	cfg DirConfig, ch *dram.Channel, meter *energy.Meter, st *stats.Stats) *Directory {
-	return &Directory{
+	d := &Directory{
 		id:    id,
 		node:  node,
 		eng:   eng,
@@ -121,20 +125,104 @@ func NewDirectory(id int, node noc.NodeID, eng *sim.Engine, net *noc.Network,
 		st:    st,
 		cfg:   cfg,
 		dram:  ch,
-		lines: make(map[mem.Addr]*dirLine),
+	}
+	d.dispatchFn = d.dispatchLine
+	return d
+}
+
+// lineTable maps block addresses to directory lines: open addressing with
+// linear probing over flat key/value slices (no per-lookup hashing through
+// the runtime map), lines allocated from a chunked arena so their pointers
+// stay stable across growth (transactions capture *dirLine in closures).
+// Address 0 is a valid block address, so emptiness is marked by a nil
+// value, never by a key sentinel.
+type lineTable struct {
+	keys  []mem.Addr
+	vals  []*dirLine
+	shift uint // 64 - log2(len(vals)), for Fibonacci hashing
+	n     int
+	all   []*dirLine // every line ever created, for whole-table scans
+	chunk []dirLine  // arena tail lines are carved from
+}
+
+const lineChunk = 64
+
+func (t *lineTable) slot(a mem.Addr) int {
+	return int((uint64(a) * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// get returns the line for a, or nil.
+func (t *lineTable) get(a mem.Addr) *dirLine {
+	if t.n == 0 {
+		return nil
+	}
+	mask := len(t.vals) - 1
+	for i := t.slot(a); t.vals[i] != nil; i = (i + 1) & mask {
+		if t.keys[i] == a {
+			return t.vals[i]
+		}
+	}
+	return nil
+}
+
+// getOrCreate returns the line for a, creating it on first touch.
+func (t *lineTable) getOrCreate(a mem.Addr) *dirLine {
+	if len(t.vals) == 0 || t.n*4 >= len(t.vals)*3 {
+		t.grow()
+	}
+	mask := len(t.vals) - 1
+	i := t.slot(a)
+	for t.vals[i] != nil {
+		if t.keys[i] == a {
+			return t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	if len(t.chunk) == 0 {
+		t.chunk = make([]dirLine, lineChunk)
+	}
+	e := &t.chunk[0]
+	t.chunk = t.chunk[1:]
+	e.owner = -1
+	t.keys[i], t.vals[i] = a, e
+	t.n++
+	t.all = append(t.all, e)
+	return e
+}
+
+// grow doubles the table (initially 64 slots) and reinserts every entry.
+func (t *lineTable) grow() {
+	size := lineChunk
+	if len(t.vals) > 0 {
+		size = len(t.vals) * 2
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]mem.Addr, size)
+	t.vals = make([]*dirLine, size)
+	t.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	mask := size - 1
+	for oi, v := range oldVals {
+		if v == nil {
+			continue
+		}
+		i := t.slot(oldKeys[oi])
+		for t.vals[i] != nil {
+			i = (i + 1) & mask
+		}
+		t.keys[i], t.vals[i] = oldKeys[oi], v
 	}
 }
 
 // Node returns the directory's mesh node.
 func (d *Directory) Node() noc.NodeID { return d.node }
 
+// UsePool makes the directory draw its outbound messages from p (shared
+// machine-wide; see MsgPool for the ownership discipline). Without a pool
+// every message is a fresh allocation.
+func (d *Directory) UsePool(p *MsgPool) { d.pool = p }
+
 func (d *Directory) line(a mem.Addr) *dirLine {
-	e := d.lines[a]
-	if e == nil {
-		e = &dirLine{owner: -1}
-		d.lines[a] = e
-	}
-	return e
+	return d.lines.getOrCreate(a)
 }
 
 // Peek returns the directory's coherent data for a block, if it holds any
@@ -142,7 +230,7 @@ func (d *Directory) line(a mem.Addr) *dirLine {
 // protocol). ok is false when the block is owned (the owner's copy is
 // authoritative) or was never cached here.
 func (d *Directory) Peek(a mem.Addr) (data []byte, ok bool) {
-	e := d.lines[a]
+	e := d.lines.get(a)
 	if e == nil || !e.hasData || e.state == dirOwned {
 		return nil, false
 	}
@@ -151,7 +239,7 @@ func (d *Directory) Peek(a mem.Addr) (data []byte, ok bool) {
 
 // Owner returns the owning L1 id for a block, or -1.
 func (d *Directory) Owner(a mem.Addr) int {
-	if e := d.lines[a]; e != nil && e.state == dirOwned {
+	if e := d.lines.get(a); e != nil && e.state == dirOwned {
 		return e.owner
 	}
 	return -1
@@ -159,7 +247,7 @@ func (d *Directory) Owner(a mem.Addr) int {
 
 // Sharers returns the sharer bitmask for a block.
 func (d *Directory) Sharers(a mem.Addr) uint32 {
-	if e := d.lines[a]; e != nil && e.state == dirShared {
+	if e := d.lines.get(a); e != nil && e.state == dirShared {
 		return e.sharers
 	}
 	return 0
@@ -167,7 +255,7 @@ func (d *Directory) Sharers(a mem.Addr) uint32 {
 
 // Quiesced reports whether no transaction is in flight at this directory.
 func (d *Directory) Quiesced() bool {
-	for _, e := range d.lines {
+	for _, e := range d.lines.all {
 		if e.busy || len(e.queue) > 0 {
 			return false
 		}
@@ -187,10 +275,14 @@ func (d *Directory) send(dst noc.NodeID, m *Msg) {
 
 // sendCtl sends a control message to an L1.
 func (d *Directory) sendCtl(l1 int, t MsgType, a mem.Addr, requestor int) {
-	d.send(noc.NodeID(l1), &Msg{Type: t, Addr: a, From: d.id, Requestor: requestor})
+	m := d.pool.Get()
+	m.Type, m.Addr, m.From, m.Requestor = t, a, d.id, requestor
+	d.send(noc.NodeID(l1), m)
 }
 
 // HandleMsg processes one network message addressed to this directory.
+// Transaction responses are recycled here; requests live until their
+// transaction finishes (queued, then e.cur until finish()).
 func (d *Directory) HandleMsg(m *Msg) {
 	e := d.line(m.Addr)
 	switch m.Type {
@@ -200,6 +292,7 @@ func (d *Directory) HandleMsg(m *Msg) {
 			return
 		}
 		d.begin(e, m)
+		return
 	case InvAck:
 		d.handleInvAck(e, m)
 	case DataToDir:
@@ -211,14 +304,22 @@ func (d *Directory) HandleMsg(m *Msg) {
 	default:
 		panic(fmt.Sprintf("dir %d: unexpected message %v", d.id, m.Type))
 	}
+	d.pool.Put(m)
 }
 
 // begin starts a transaction: the block goes busy and the request is
-// dispatched after the directory lookup latency.
+// dispatched after the directory lookup latency. The line itself is the
+// scheduled argument (its cur holds the request), so no closure is built.
 func (d *Directory) begin(e *dirLine, m *Msg) {
 	e.busy = true
 	e.cur = m
-	d.eng.After(d.cfg.Latency, func() { d.dispatch(e, m) })
+	d.eng.AfterArg(d.cfg.Latency, d.dispatchFn, e)
+}
+
+// dispatchLine adapts dispatch to the engine's argument-passing form.
+func (d *Directory) dispatchLine(arg any) {
+	e := arg.(*dirLine)
+	d.dispatch(e, e.cur)
 }
 
 func (d *Directory) dispatch(e *dirLine, m *Msg) {
@@ -234,9 +335,11 @@ func (d *Directory) dispatch(e *dirLine, m *Msg) {
 	}
 }
 
-// finish completes the current transaction and starts the next queued one.
+// finish completes the current transaction, recycling its request, and
+// starts the next queued one.
 func (d *Directory) finish(e *dirLine) {
 	e.busy = false
+	d.pool.Put(e.cur)
 	e.cur = nil
 	e.onAcksDone = nil
 	e.needUnblock = false
@@ -283,7 +386,7 @@ func (d *Directory) withData(e *dirLine, a mem.Addr, k func()) {
 func (d *Directory) occupancy() int {
 	n := 0
 	for _, a := range d.resident {
-		if e := d.lines[a]; e != nil && e.hasData {
+		if e := d.lines.get(a); e != nil && e.hasData {
 			n++
 		}
 	}
@@ -303,7 +406,7 @@ func (d *Directory) ensureSpace(requesting mem.Addr, k func()) {
 	// Compact the resident list lazily (lines whose data was dropped).
 	live := d.resident[:0]
 	for _, a := range d.resident {
-		if e := d.lines[a]; e != nil && e.hasData {
+		if e := d.lines.get(a); e != nil && e.hasData {
 			live = append(live, a)
 		}
 	}
@@ -315,7 +418,7 @@ func (d *Directory) ensureSpace(requesting mem.Addr, k func()) {
 	for tries := 0; tries < len(d.resident); tries++ {
 		d.clock = (d.clock + 1) % len(d.resident)
 		va := d.resident[d.clock]
-		v := d.lines[va]
+		v := d.lines.get(va)
 		if va == requesting || v == nil || !v.hasData || v.busy {
 			continue
 		}
@@ -358,7 +461,8 @@ func (d *Directory) evictLine(va mem.Addr, v *dirLine, k func()) {
 	case dirOwned:
 		// The owner's copy is authoritative; RecallData completes the
 		// eviction (handled in handleRecallData via the line's cur).
-		v.cur = &Msg{Type: RecallOwn, Addr: va}
+		v.cur = d.pool.Get()
+		v.cur.Type, v.cur.Addr = RecallOwn, va
 		v.onAcksDone = nil
 		d.sendCtl(v.owner, RecallOwn, va, -1)
 		v.recallDone = func(data []byte) { finish(data) }
@@ -370,10 +474,10 @@ func (d *Directory) replyData(l1 int, t MsgType, e *dirLine, a mem.Addr) {
 	if !e.hasData {
 		panic(fmt.Sprintf("dir %d: data grant without data for %#x", d.id, a))
 	}
-	d.send(noc.NodeID(l1), &Msg{
-		Type: t, Addr: a, From: d.id, Requestor: l1,
-		Data: append([]byte(nil), e.data...),
-	})
+	m := d.pool.Get()
+	m.Type, m.Addr, m.From, m.Requestor = t, a, d.id, l1
+	m.Data = append(m.Data[:0], e.data...)
+	d.send(noc.NodeID(l1), m)
 }
 
 func bit(id int) uint32 { return 1 << uint(id) }

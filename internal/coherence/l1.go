@@ -113,17 +113,14 @@ type L1Config struct {
 	ProfileSimilarity bool
 }
 
-// evictCtx tracks the single outstanding eviction transaction (the L1 is
-// blocking, so at most one exists).
-type evictCtx struct {
-	addr  mem.Addr
-	block *cache.Block
-	cont  func()
-}
-
 // L1 is one private L1 data cache controller with its core-facing port and
 // network-facing protocol engine. The paper keeps all Ghostwriter changes
 // local to the L1 level; so does this implementation.
+//
+// The controller is blocking (one core op, one eviction at a time), so all
+// transaction context lives in flat fields instead of per-transaction
+// closures, and the recurring callbacks (completion, GI sweep) are bound
+// once at construction.
 type L1 struct {
 	id    int
 	node  noc.NodeID
@@ -134,14 +131,31 @@ type L1 struct {
 	arr   *cache.Cache
 	cfg   L1Config
 	home  func(mem.Addr) noc.NodeID
+	pool  *MsgPool
 
 	cur                *CoreOp
 	invAfterFill       bool
 	upgradeInvalidated bool
 	pendingFwd         *Msg
-	ev                 *evictCtx
 	stopped            bool
 	curTimeout         sim.Cycle
+
+	// The single outstanding eviction transaction, and the install+request
+	// it defers (also used directly on silent evictions).
+	evActive   bool
+	evAddr     mem.Addr
+	fillVictim *cache.Block
+	fillAddr   mem.Addr
+	fillState  cache.State
+	fillReq    MsgType
+
+	// In-flight core-op completion (scheduled by complete).
+	pendingDone func(uint64)
+	pendingVal  uint64
+
+	// Callbacks bound once so rescheduling never allocates.
+	completeFn sim.Event
+	sweepFn    sim.Event
 }
 
 // NewL1 builds an L1 controller. The L1's id doubles as its NoC node id.
@@ -161,8 +175,15 @@ func NewL1(id int, eng *sim.Engine, net *noc.Network, cfg L1Config,
 	}
 	l.stopped = true
 	l.curTimeout = cfg.GITimeout
+	l.completeFn = l.fireComplete
+	l.sweepFn = l.giSweep
 	return l
 }
+
+// UsePool makes the controller draw its outbound messages from p (shared
+// machine-wide; see MsgPool for the ownership discipline). Without a pool
+// every message is a fresh allocation.
+func (l *L1) UsePool(p *MsgPool) { l.pool = p }
 
 // CurrentGITimeout returns the controller's (possibly adapted) sweep period.
 func (l *L1) CurrentGITimeout() sim.Cycle { return l.curTimeout }
@@ -175,7 +196,7 @@ func (l *L1) StartSweep() {
 		return
 	}
 	l.stopped = false
-	l.eng.After(l.curTimeout, l.giSweep)
+	l.eng.After(l.curTimeout, l.sweepFn)
 }
 
 // Stop halts the periodic GI sweep so the event queue can drain after a run.
@@ -189,7 +210,7 @@ func (l *L1) Array() *cache.Cache { return l.arr }
 func (l *L1) ID() int { return l.id }
 
 // Busy reports whether a core operation is outstanding.
-func (l *L1) Busy() bool { return l.cur != nil || l.ev != nil }
+func (l *L1) Busy() bool { return l.cur != nil || l.evActive }
 
 // giSweep implements the periodic GI timeout: every GITimeout cycles all GI
 // blocks revert to I, forfeiting their hidden updates (§3.2). The tag and
@@ -220,7 +241,7 @@ func (l *L1) giSweep() {
 			l.curTimeout = 1
 		}
 	}
-	l.eng.After(l.curTimeout, l.giSweep)
+	l.eng.After(l.curTimeout, l.sweepFn)
 }
 
 // Access presents one core operation. The L1 must be idle.
@@ -252,11 +273,22 @@ func (l *L1) Access(op *CoreOp) {
 	l.store(op, b)
 }
 
-// complete finishes the current core operation after lat cycles.
+// complete finishes the current core operation after lat cycles. The L1 is
+// blocking, so at most one completion is in flight; its context rides in
+// flat fields and the bound completeFn, not a fresh closure.
 func (l *L1) complete(lat sim.Cycle, value uint64) {
 	op := l.cur
 	l.cur = nil
-	l.eng.After(lat, func() { op.Done(value) })
+	l.pendingDone = op.Done
+	l.pendingVal = value
+	l.eng.After(lat, l.completeFn)
+}
+
+// fireComplete delivers the pending completion to the core.
+func (l *L1) fireComplete() {
+	done := l.pendingDone
+	l.pendingDone = nil
+	done(l.pendingVal)
 }
 
 // send injects a coherence message, charging traffic accounting.
@@ -272,7 +304,9 @@ func (l *L1) send(dst noc.NodeID, m *Msg) {
 // sendReq sends a request for the current op's block to its home directory.
 func (l *L1) sendReq(t MsgType, a mem.Addr) {
 	base := l.arr.BlockBase(a)
-	l.send(l.home(base), &Msg{Type: t, Addr: base, From: l.id, ToDir: true})
+	m := l.pool.Get()
+	m.Type, m.Addr, m.From, m.ToDir = t, base, l.id, true
+	l.send(l.home(base), m)
 }
 
 // load services a core load.
@@ -304,7 +338,7 @@ func (l *L1) load(op *CoreOp, b *cache.Block) {
 		l.sendReq(GETS, op.Addr)
 		return
 	}
-	l.allocFrame(op.Addr, cache.ISD, func() { l.sendReq(GETS, op.Addr) })
+	l.allocFrame(op.Addr, cache.ISD, GETS)
 }
 
 // store services a conventional store (also the scribble fallback path).
@@ -312,7 +346,7 @@ func (l *L1) store(op *CoreOp, b *cache.Block) {
 	if b == nil {
 		l.st.L1StoreMisses++
 		l.meter.L1Tag()
-		l.allocFrame(op.Addr, cache.IMD, func() { l.sendReq(GETX, op.Addr) })
+		l.allocFrame(op.Addr, cache.IMD, GETX)
 		return
 	}
 	switch b.State {
@@ -500,31 +534,33 @@ func (l *L1) writeHit(op *CoreOp, b *cache.Block) {
 }
 
 // allocFrame obtains a frame for addr, running the eviction transaction for
-// a dirty/tracked victim first, then installs the tag in newState and calls
-// then (which sends the actual request).
-func (l *L1) allocFrame(addr mem.Addr, newState cache.State, then func()) {
+// a dirty/tracked victim first, then installs the tag in newState and sends
+// req for the block. The deferred install rides in the fill* fields (the L1
+// is blocking, so at most one is pending).
+func (l *L1) allocFrame(addr mem.Addr, newState cache.State, req MsgType) {
 	v := l.arr.VictimWay(addr)
-	install := func() {
-		l.arr.Evict(v)
-		l.arr.Install(v, addr, newState, nil)
-		then()
-	}
+	l.fillVictim = v
+	l.fillAddr = addr
+	l.fillState = newState
+	l.fillReq = req
 	if !v.Valid || v.State == cache.Invalid || v.State == cache.GI {
 		// Empty frame, an invalid block (the directory does not track it),
 		// or a GI block (also untracked; its hidden updates are forfeited,
 		// §3.5): silent eviction.
-		install()
+		l.installAndRequest()
 		return
 	}
 	vaddr := l.arr.AddrOf(l.arr.SetIndex(addr), v)
 	prior := v.State
 	v.State = cache.EVA
-	l.ev = &evictCtx{addr: vaddr, block: v, cont: install}
-	m := &Msg{Addr: vaddr, From: l.id, ToDir: true}
+	l.evActive = true
+	l.evAddr = vaddr
+	m := l.pool.Get()
+	m.Addr, m.From, m.ToDir = vaddr, l.id, true
 	switch prior {
 	case cache.Modified:
 		m.Type = PUTM
-		m.Data = append([]byte(nil), v.Data...)
+		m.Data = append(m.Data[:0], v.Data...)
 	case cache.Exclusive:
 		m.Type = PUTE
 	case cache.Shared:
@@ -538,7 +574,18 @@ func (l *L1) allocFrame(addr mem.Addr, newState cache.State, then func()) {
 	l.send(l.home(vaddr), m)
 }
 
-// HandleMsg processes one network message addressed to this L1.
+// installAndRequest claims the chosen victim frame for the pending fill and
+// sends its request to the home directory.
+func (l *L1) installAndRequest() {
+	l.arr.Evict(l.fillVictim)
+	l.arr.Install(l.fillVictim, l.fillAddr, l.fillState, nil)
+	l.fillVictim = nil
+	l.sendReq(l.fillReq, l.fillAddr)
+}
+
+// HandleMsg processes one network message addressed to this L1 and, as the
+// receiver, recycles it — unless the handler retained it (a forward
+// deferred until the in-flight fill arrives).
 func (l *L1) HandleMsg(m *Msg) {
 	switch m.Type {
 	case Inv:
@@ -547,6 +594,9 @@ func (l *L1) HandleMsg(m *Msg) {
 		l.handleRecall(m)
 	case FwdGETS, FwdGETX:
 		l.handleFwd(m)
+		if l.pendingFwd == m {
+			return // retained; freed by handleFill after serving it
+		}
 	case DataS, DataE, DataM, DataC2C:
 		l.handleFill(m)
 	case UpgAck:
@@ -556,6 +606,7 @@ func (l *L1) HandleMsg(m *Msg) {
 	default:
 		panic(fmt.Sprintf("l1 %d: unexpected message %v", l.id, m.Type))
 	}
+	l.pool.Put(m)
 }
 
 func (l *L1) handleInv(m *Msg) {
@@ -585,7 +636,9 @@ func (l *L1) handleInv(m *Msg) {
 	default:
 		panic(fmt.Sprintf("l1 %d: Inv in state %v", l.id, b.State))
 	}
-	l.send(l.home(m.Addr), &Msg{Type: InvAck, Addr: m.Addr, From: l.id, ToDir: true})
+	ack := l.pool.Get()
+	ack.Type, ack.Addr, ack.From, ack.ToDir = InvAck, m.Addr, l.id, true
+	l.send(l.home(m.Addr), ack)
 }
 
 // handleRecall surrenders an owned block so the L2 home can evict its line
@@ -606,10 +659,10 @@ func (l *L1) handleRecall(m *Msg) {
 		panic(fmt.Sprintf("l1 %d: RecallOwn in state %v", l.id, b.State))
 	}
 	l.meter.L1Read()
-	l.send(l.home(m.Addr), &Msg{
-		Type: RecallData, Addr: m.Addr, From: l.id, ToDir: true,
-		Data: append([]byte(nil), b.Data...),
-	})
+	r := l.pool.Get()
+	r.Type, r.Addr, r.From, r.ToDir = RecallData, m.Addr, l.id, true
+	r.Data = append(r.Data[:0], b.Data...)
+	l.send(l.home(m.Addr), r)
 }
 
 func (l *L1) handleFwd(m *Msg) {
@@ -635,25 +688,27 @@ func (l *L1) handleFwd(m *Msg) {
 
 // serveFwd answers a forwarded request from our owned copy: data goes
 // cache-to-cache to the requestor, plus the protocol's completion message
-// to the directory.
+// to the directory. Each outbound message gets its own copy of the block —
+// pooled Data buffers must never be shared between two in-flight messages.
 func (l *L1) serveFwd(m *Msg, b *cache.Block) {
-	data := append([]byte(nil), b.Data...)
 	l.meter.L1Read()
+	c2c := l.pool.Get()
+	c2c.Type, c2c.Addr, c2c.From, c2c.Requestor = DataC2C, m.Addr, l.id, m.Requestor
+	c2c.Data = append(c2c.Data[:0], b.Data...)
 	if m.Type == FwdGETS {
-		l.send(noc.NodeID(m.Requestor), &Msg{
-			Type: DataC2C, Addr: m.Addr, From: l.id, Requestor: m.Requestor,
-			Grant: GrantS, Data: data,
-		})
-		l.send(l.home(m.Addr), &Msg{Type: DataToDir, Addr: m.Addr, From: l.id, ToDir: true, Data: data})
+		c2c.Grant = GrantS
+		l.send(noc.NodeID(m.Requestor), c2c)
+		wb := l.pool.Get()
+		wb.Type, wb.Addr, wb.From, wb.ToDir = DataToDir, m.Addr, l.id, true
+		wb.Data = append(wb.Data[:0], b.Data...)
+		l.send(l.home(m.Addr), wb)
 		if b.State != cache.EVA {
 			b.State = cache.Shared
 		}
 		return
 	}
-	l.send(noc.NodeID(m.Requestor), &Msg{
-		Type: DataC2C, Addr: m.Addr, From: l.id, Requestor: m.Requestor,
-		Grant: GrantM, Data: data,
-	})
+	c2c.Grant = GrantM
+	l.send(noc.NodeID(m.Requestor), c2c)
 	if b.State != cache.EVA {
 		b.State = cache.Invalid
 	}
@@ -704,6 +759,7 @@ func (l *L1) handleFill(m *Msg) {
 			f := l.pendingFwd
 			l.pendingFwd = nil
 			l.serveFwd(f, b)
+			l.pool.Put(f)
 		}
 	default:
 		panic(fmt.Sprintf("l1 %d: fill in state %v", l.id, b.State))
@@ -730,14 +786,15 @@ func (l *L1) handleUpgAck(m *Msg) {
 // sendUnblock releases the home directory's per-block busy state after a
 // grant has been installed.
 func (l *L1) sendUnblock(a mem.Addr) {
-	l.send(l.home(a), &Msg{Type: Unblock, Addr: a, From: l.id, ToDir: true})
+	m := l.pool.Get()
+	m.Type, m.Addr, m.From, m.ToDir = Unblock, a, l.id, true
+	l.send(l.home(a), m)
 }
 
 func (l *L1) handlePutAck(m *Msg) {
-	if l.ev == nil || l.ev.addr != m.Addr {
+	if !l.evActive || l.evAddr != m.Addr {
 		panic(fmt.Sprintf("l1 %d: stray PutAck for %#x", l.id, m.Addr))
 	}
-	cont := l.ev.cont
-	l.ev = nil
-	cont()
+	l.evActive = false
+	l.installAndRequest()
 }

@@ -140,6 +140,50 @@ type Msg struct {
 	// ToDir routes the message to the directory co-located at the
 	// destination node rather than the L1.
 	ToDir bool
+
+	// next links pool free lists; never set while a message is in flight.
+	next *Msg
+}
+
+// MsgPool recycles Msg records. The simulation engine is single-threaded,
+// so the free list needs no locking. A nil *MsgPool is valid and degrades
+// to plain allocation, which keeps test rigs that build controllers
+// directly working unchanged.
+//
+// Ownership discipline: the receiver frees. A controller that finishes
+// handling a message Puts it back — except messages it retains (a
+// directory's in-progress request lives until finish(); an L1's deferred
+// forward lives until the fill serves it), which are Put at the retention
+// point's end.
+type MsgPool struct {
+	free *Msg
+}
+
+// Get returns a zeroed message (its Data buffer keeps prior capacity).
+func (p *MsgPool) Get() *Msg {
+	if p == nil || p.free == nil {
+		return &Msg{}
+	}
+	m := p.free
+	p.free = m.next
+	m.next = nil
+	return m
+}
+
+// Put recycles a handled message, zeroing its fields but retaining the
+// Data buffer's capacity for the next data-carrying sender. Nil-safe in
+// both the pool and the message.
+func (p *MsgPool) Put(m *Msg) {
+	if p == nil || m == nil {
+		return
+	}
+	d := m.Data
+	*m = Msg{}
+	if d != nil {
+		m.Data = d[:0]
+	}
+	m.next = p.free
+	p.free = m
 }
 
 // GrantKind distinguishes what permission a cache-to-cache data transfer

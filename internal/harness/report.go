@@ -33,6 +33,13 @@ type TimingReport struct {
 	Simulated uint64 `json:"simulated"`
 	CacheHits uint64 `json:"cacheHits"`
 	Failures  uint64 `json:"failures,omitempty"`
+	// SimCycles is the aggregate simulated-cycle count of the freshly
+	// simulated cells; the *PerSec fields divide the fresh work by WallMS.
+	// Cache hits are excluded from all three — replayed cells cost no
+	// simulation time, so including them would flatter the host.
+	SimCycles       uint64  `json:"simCycles,omitempty"`
+	CellsPerSec     float64 `json:"cellsPerSec,omitempty"`
+	SimCyclesPerSec float64 `json:"simCyclesPerSec,omitempty"`
 	// Remote carries the remote-tier traffic counters when the sweep ran
 	// against a gwcached server. The counters are cumulative for the
 	// Runner's backend (remote traffic is not bracketed per report build).
@@ -124,6 +131,7 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		simBefore  = r.Simulated()
 		hitBefore  = r.CacheHits()
 		failBefore = r.Failures()
+		cycBefore  = r.SimCycles()
 	)
 	rep := &Report{Options: opt, Jobs: r.workers()}
 	var err error
@@ -148,7 +156,12 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		Simulated: r.Simulated() - simBefore,
 		CacheHits: r.CacheHits() - hitBefore,
 		Failures:  r.Failures() - failBefore,
+		SimCycles: r.SimCycles() - cycBefore,
 		Cells:     r.timingsSince(mark),
+	}
+	if wallSec := rep.Timing.WallMS / 1000; wallSec > 0 {
+		rep.Timing.CellsPerSec = float64(rep.Timing.Simulated) / wallSec
+		rep.Timing.SimCyclesPerSec = float64(rep.Timing.SimCycles) / wallSec
 	}
 	if r.Cache != nil {
 		if rs, ok := remoteStatsOf(r.Cache); ok {

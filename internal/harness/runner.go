@@ -76,6 +76,7 @@ type Runner struct {
 	simulated atomic.Uint64
 	cacheHits atomic.Uint64
 	failures  atomic.Uint64
+	simCycles atomic.Uint64
 
 	mu       sync.Mutex
 	memo     map[string]RunResult
@@ -111,6 +112,11 @@ func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
 
 // Failures returns how many cells returned an error (panics included).
 func (r *Runner) Failures() uint64 { return r.failures.Load() }
+
+// SimCycles returns the aggregate simulated cycles across every cell this
+// Runner simulated to completion (cache hits excluded — they cost no host
+// time, so counting them would inflate throughput figures).
+func (r *Runner) SimCycles() uint64 { return r.simCycles.Load() }
 
 // Run executes every job and returns one CellResult per job, in job order.
 // Cells run concurrently on the worker pool; a failing or panicking cell
@@ -255,6 +261,7 @@ func (r *Runner) runCell(j Job) (cr CellResult) {
 		return cr
 	}
 	r.simulated.Add(1)
+	r.simCycles.Add(cr.Result.Cycles)
 	r.memoize(key, cr.Result)
 	if r.Cache != nil {
 		// A failed write only costs a resimulation next process; the sweep

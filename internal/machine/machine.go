@@ -140,10 +140,14 @@ func New(cfg Config) *Machine {
 	if cfg.L2PerCoreBytes > 0 {
 		dirCfg.CapacityBlocks = cfg.L2PerCoreBytes * cfg.Cores / len(cfg.DirNodes) / cfg.L1.BlockSize
 	}
+	// One machine-wide message pool: the engine is single-threaded, and
+	// every message is consumed by a controller on the same machine.
+	pool := &coherence.MsgPool{}
 	dirAt := make(map[noc.NodeID]*coherence.Directory)
 	for i, n := range m.dirNode {
 		ch := dram.NewChannel(m.eng, cfg.DRAM, m.backing, m.meter, m.st)
 		d := coherence.NewDirectory(i, n, m.eng, m.net, dirCfg, ch, m.meter, m.st)
+		d.UsePool(pool)
 		m.dirs = append(m.dirs, d)
 		dirAt[n] = d
 	}
@@ -160,7 +164,9 @@ func New(cfg Config) *Machine {
 		ProfileSimilarity: cfg.ProfileSimilarity,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		m.l1s = append(m.l1s, coherence.NewL1(i, m.eng, m.net, l1Cfg, home, m.meter, m.st))
+		l1 := coherence.NewL1(i, m.eng, m.net, l1Cfg, home, m.meter, m.st)
+		l1.UsePool(pool)
+		m.l1s = append(m.l1s, l1)
 	}
 
 	// One handler per mesh node dispatches to the co-located components.

@@ -59,6 +59,16 @@ type Thread struct {
 	barrierSince sim.Cycle
 	barrierCyc   sim.Cycle
 	finish       sim.Cycle
+
+	// Reusable memory-op record and its issue timestamp: the core is
+	// blocking, so one record per thread suffices and the hot path builds
+	// no per-op allocation.
+	op       coherence.CoreOp
+	issuedAt sim.Cycle
+	// Callbacks bound once per run.
+	doneFn   func(uint64)
+	issueFn  sim.Event
+	resumeFn sim.Event
 }
 
 // ID returns the thread's index in [0, N).
@@ -220,6 +230,17 @@ func (m *Machine) Run(nthreads int, kernel Kernel) uint64 {
 			res:      make(chan uint64),
 			ddist:    -1,
 		}
+		t.issueFn = func() { m.issue(t) }
+		t.doneFn = func(v uint64) {
+			t.ops++
+			t.memCycles += m.eng.Now() - t.issuedAt
+			t.res <- v
+			m.eng.After(1, t.issueFn)
+		}
+		t.resumeFn = func() {
+			t.res <- 0
+			m.issue(t)
+		}
 		m.threads = append(m.threads, t)
 	}
 	m.active = nthreads
@@ -234,7 +255,7 @@ func (m *Machine) Run(nthreads int, kernel Kernel) uint64 {
 			kernel(t)
 			t.req <- threadReq{kind: reqDone}
 		}()
-		m.eng.After(0, func() { m.issue(t) })
+		m.eng.After(0, t.issueFn)
 	}
 	m.eng.RunUntil(func() bool { return m.active == 0 })
 	// The run ends when the last thread finishes; the drain below only
@@ -249,6 +270,7 @@ func (m *Machine) Run(nthreads int, kernel Kernel) uint64 {
 	}
 	elapsed := uint64(end - start)
 	m.st.Cycles = uint64(end)
+	m.st.Events = m.eng.Fired()
 	return elapsed
 }
 
@@ -258,27 +280,19 @@ func (m *Machine) issue(t *Thread) {
 	r := <-t.req
 	switch r.kind {
 	case reqMem:
-		issuedAt := m.eng.Now()
-		op := &coherence.CoreOp{
+		t.issuedAt = m.eng.Now()
+		t.op = coherence.CoreOp{
 			Kind:  r.op,
 			Addr:  r.addr,
 			Width: r.width,
 			Value: r.value,
 			DDist: r.d,
-			Done: func(v uint64) {
-				t.ops++
-				t.memCycles += m.eng.Now() - issuedAt
-				t.res <- v
-				m.eng.After(1, func() { m.issue(t) })
-			},
+			Done:  t.doneFn,
 		}
-		m.l1s[t.core].Access(op)
+		m.l1s[t.core].Access(&t.op)
 	case reqCompute:
 		t.computeCyc += sim.Cycle(r.n)
-		m.eng.After(sim.Cycle(r.n), func() {
-			t.res <- 0
-			m.issue(t)
-		})
+		m.eng.After(sim.Cycle(r.n), t.resumeFn)
 	case reqMigrate:
 		target := int(r.n)
 		if target < 0 || target >= m.cfg.Cores {
@@ -290,10 +304,7 @@ func (m *Machine) issue(t *Thread) {
 			}
 		}
 		t.core = target
-		m.eng.After(migrationCost, func() {
-			t.res <- 0
-			m.issue(t)
-		})
+		m.eng.After(migrationCost, t.resumeFn)
 	case reqBarrier:
 		t.barrier = true
 		t.barrierSince = m.eng.Now()
@@ -321,7 +332,6 @@ func (m *Machine) maybeReleaseBarrier() {
 		u.barrier = false
 		u.barrierCyc += m.eng.Now() - u.barrierSince
 		u.res <- 0
-		u := u
-		m.eng.After(1, func() { m.issue(u) })
+		m.eng.After(1, u.issueFn)
 	}
 }

@@ -16,24 +16,47 @@ type Addr uint64
 // implementation detail, unrelated to cache block size.
 const pageSize = 1 << 12
 
+// arenaPages is how many pages one arena chunk provides; page storage is
+// carved from chunks instead of being allocated one GC object per page.
+const arenaPages = 16
+
 // Memory is a sparse simulated physical memory. Unwritten bytes read as
 // zero. The zero value is ready to use.
+//
+// The page index stays a map (the address space is genuinely sparse), but
+// block-sized protocol accesses hit the same page repeatedly, so a
+// single-entry cache in front of it serves the common case without a map
+// lookup, and page storage comes from a growable arena.
 type Memory struct {
 	pages map[Addr]*[pageSize]byte
+	// Last page resolved; lastPage is nil when lastBase is unset/missing.
+	lastBase Addr
+	lastPage *[pageSize]byte
+	arena    []([pageSize]byte)
 }
 
 // New returns an empty memory.
 func New() *Memory { return &Memory{pages: make(map[Addr]*[pageSize]byte)} }
 
 func (m *Memory) page(a Addr, create bool) *[pageSize]byte {
+	base := a &^ (pageSize - 1)
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		m.pages = make(map[Addr]*[pageSize]byte)
 	}
-	base := a &^ (pageSize - 1)
 	p := m.pages[base]
 	if p == nil && create {
-		p = new([pageSize]byte)
+		if len(m.arena) == 0 {
+			m.arena = make([]([pageSize]byte), arenaPages)
+		}
+		p = &m.arena[0]
+		m.arena = m.arena[1:]
 		m.pages[base] = p
+	}
+	if p != nil {
+		m.lastBase, m.lastPage = base, p
 	}
 	return p
 }

@@ -44,6 +44,7 @@ type Network struct {
 	linkFree []sim.Cycle // indexed by directed link id
 	linkBusy []sim.Cycle // cumulative flit-cycles per directed link
 	linkMsgs []uint64    // messages per directed link
+	routeBuf []int       // scratch for route(); valid until the next Send
 	meter    *energy.Meter
 	st       *stats.Stats
 }
@@ -111,9 +112,12 @@ func (n *Network) Flits(payloadBytes int) int {
 // in direction dir (0=+x, 1=-x, 2=+y, 3=-y).
 func (n *Network) linkID(from NodeID, dir int) int { return int(from)*4 + dir }
 
-// route returns the XY route as a sequence of (node, direction) hops.
+// route returns the XY route as a sequence of (node, direction) hops. The
+// returned slice aliases the network's scratch buffer and is only valid
+// until the next route call (the engine is single-threaded, and Send
+// consumes the route before scheduling anything).
 func (n *Network) route(src, dst NodeID) []int {
-	var hops []int // link ids
+	hops := n.routeBuf[:0] // link ids
 	x, y := n.XY(src)
 	dx, dy := n.XY(dst)
 	for x != dx {
@@ -134,6 +138,7 @@ func (n *Network) route(src, dst NodeID) []int {
 		hops = append(hops, n.linkID(n.NodeAt(x, y), dir))
 		y += step
 	}
+	n.routeBuf = hops
 	return hops
 }
 
@@ -150,7 +155,7 @@ func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle
 	if src == dst {
 		t += n.cfg.RouterDelay
 		n.meter.RouterTraversal(flits)
-		n.eng.At(t, func() { h(payload) })
+		n.eng.AtArg(t, h, payload)
 		return t
 	}
 	for _, link := range n.route(src, dst) {
@@ -169,7 +174,7 @@ func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle
 	}
 	// Tail flit arrives flits-1 cycles after the head.
 	t += sim.Cycle(flits - 1)
-	n.eng.At(t, func() { h(payload) })
+	n.eng.AtArg(t, h, payload)
 	return t
 }
 

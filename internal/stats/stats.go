@@ -47,6 +47,11 @@ type Stats struct {
 	// the end of a run).
 	Cycles uint64
 
+	// Events is the total number of discrete events the engine fired over
+	// the run, drain included (set by the machine; the events/sec
+	// denominator of the gwbench throughput metrics).
+	Events uint64
+
 	// Msgs counts coherence messages injected into the NoC, by class.
 	Msgs [numMsgClasses]uint64
 
@@ -141,6 +146,7 @@ func (s *Stats) DistCDF() ([65]float64, uint64) {
 // Add accumulates o into s (used to aggregate per-component stats).
 func (s *Stats) Add(o *Stats) {
 	s.Cycles += o.Cycles
+	s.Events += o.Events
 	for i := range s.Msgs {
 		s.Msgs[i] += o.Msgs[i]
 	}
