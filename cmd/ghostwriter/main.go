@@ -15,6 +15,7 @@ import (
 	"os"
 
 	ghostwriter "ghostwriter"
+	ptable "ghostwriter/internal/coherence/proto"
 	"ghostwriter/internal/harness"
 	"ghostwriter/internal/prof"
 	"ghostwriter/internal/quality"
@@ -35,9 +36,11 @@ func realMain() int {
 		threads = flag.Int("threads", 24, "worker threads (one per core)")
 		scale   = flag.Int("scale", 1, "input scale factor")
 		policy  = flag.String("policy", "hybrid", "scribble policy: hybrid|resident|escalate")
+		proto   = flag.String("protocol", "", "coherence protocol table: mesi|ghostwriter|gw-noGI (empty = d-distance decides)")
 		timeout = flag.Uint64("gi-timeout", 1024, "GI timeout period in cycles")
 		list    = flag.Bool("list", false, "list available benchmarks")
 		config  = flag.Bool("config", false, "print the simulated configuration and exit")
+		tables  = flag.Bool("tables", false, "print the selected protocol's transition tables as markdown and exit")
 		tune    = flag.Float64("autotune", -1, "auto-tune d for this output-error target (percent)")
 		cores   = flag.Bool("cores", false, "print the per-thread utilization breakdown")
 		nocHot  = flag.Bool("noc", false, "print the hottest mesh links")
@@ -61,6 +64,18 @@ func realMain() int {
 		harness.Table1(os.Stdout)
 		return 0
 	}
+	if *tables {
+		name := *proto
+		if name == "" {
+			name = "ghostwriter"
+		}
+		if _, err := ghostwriter.ParseProtocol(name); err != nil {
+			fmt.Fprintln(os.Stderr, "ghostwriter:", err)
+			return 1
+		}
+		fmt.Print(ptable.Markdown(ptable.MustLookup(name)))
+		return 0
+	}
 	if *list {
 		harness.Table2(os.Stdout, harness.Options{Scale: *scale, Threads: *threads})
 		fmt.Println("plus microbenchmarks: bad_dot_product, priv_dot_product")
@@ -74,7 +89,7 @@ func realMain() int {
 		return 0
 	}
 	knobs := extraKnobs{msi: *msi, migratory: *migOpt, bound: uint32(*bound), adaptiveGI: *adaptGI}
-	if err := run(*app, *d, *threads, *scale, *policy, *timeout, *cores, *nocHot, knobs); err != nil {
+	if err := run(*app, *d, *threads, *scale, *policy, *proto, *timeout, *cores, *nocHot, knobs); err != nil {
 		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
 		return 1
 	}
@@ -112,21 +127,14 @@ type extraKnobs struct {
 	bound                      uint32
 }
 
-func run(name string, d, threads, scale int, policyName string, timeout uint64, cores, nocHot bool, knobs extraKnobs) error {
+func run(name string, d, threads, scale int, policyName, protoName string, timeout uint64, cores, nocHot bool, knobs extraKnobs) error {
 	f, err := workloads.Lookup(name)
 	if err != nil {
 		return err
 	}
-	var policy ghostwriter.ScribblePolicy
-	switch policyName {
-	case "hybrid":
-		policy = ghostwriter.PolicyHybrid
-	case "resident":
-		policy = ghostwriter.PolicyResident
-	case "escalate":
-		policy = ghostwriter.PolicyEscalate
-	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+	policy, err := ghostwriter.ParsePolicy(policyName)
+	if err != nil {
+		return err
 	}
 
 	cfg := ghostwriter.Config{
@@ -139,6 +147,11 @@ func run(name string, d, threads, scale int, policyName string, timeout uint64, 
 	}
 	if d > 0 {
 		cfg.Protocol = ghostwriter.Ghostwriter
+	}
+	if protoName != "" {
+		if cfg.Protocol, err = ghostwriter.ParseProtocol(protoName); err != nil {
+			return err
+		}
 	}
 	appInst := f.New(scale)
 	ddist := d

@@ -33,7 +33,11 @@ func main() {
 
 	if *list {
 		for _, c := range bench.Suite() {
-			fmt.Printf("%-24s app=%s d=%d scale=%d threads=%d\n", c.Name, c.App, c.DDist, c.Scale, c.Threads)
+			fmt.Printf("%-24s app=%s d=%d scale=%d threads=%d", c.Name, c.App, c.DDist, c.Scale, c.Threads)
+			if c.Protocol != "" {
+				fmt.Printf(" protocol=%s", c.Protocol)
+			}
+			fmt.Println()
 		}
 		return
 	}

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	ghostwriter "ghostwriter"
 	"ghostwriter/internal/harness"
 	"ghostwriter/internal/prof"
 )
@@ -55,9 +56,10 @@ func main() {
 
 func realMain() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|tab1|tab2|ext|trend")
+		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|protocols|tab1|tab2|ext|trend")
 		scale    = flag.Int("scale", 1, "input scale factor")
 		threads  = flag.Int("threads", 24, "worker threads")
+		protocol = flag.String("protocol", "", "coherence protocol table for every cell: mesi|ghostwriter|gw-noGI (empty = d-distance decides)")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
@@ -73,7 +75,13 @@ func realMain() int {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	opt := harness.Options{Scale: *scale, Threads: *threads}
+	if *protocol != "" {
+		if _, err := ghostwriter.ParseProtocol(*protocol); err != nil {
+			fmt.Fprintln(os.Stderr, "gwsweep:", err)
+			return 2
+		}
+	}
+	opt := harness.Options{Scale: *scale, Threads: *threads, Protocol: *protocol}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -315,6 +323,12 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 		}
 		fmt.Fprintln(w)
 	}
+	if exp == "all" || exp == "protocols" {
+		if _, err := r.ProtocolGrid(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
 	if exp == "all" || exp == "ext" {
 		if _, err := r.Extensions(w, opt); err != nil {
 			return err
@@ -327,7 +341,7 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 		}
 	}
 	switch exp {
-	case "all", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab1", "tab2", "ext", "trend":
+	case "all", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "protocols", "tab1", "tab2", "ext", "trend":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

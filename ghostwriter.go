@@ -24,7 +24,11 @@
 package ghostwriter
 
 import (
+	"fmt"
+	"strings"
+
 	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/coherence/proto"
 	"ghostwriter/internal/energy"
 	"ghostwriter/internal/machine"
 	"ghostwriter/internal/mem"
@@ -52,24 +56,50 @@ type (
 	MsgClass = stats.MsgClass
 )
 
-// Protocol selects the coherence protocol.
+// Protocol selects the coherence protocol. Each value names a registered
+// transition table in internal/coherence/proto; String and ParseProtocol
+// round-trip through those registry names.
 type Protocol int
 
 // Protocols.
 const (
 	// Baseline is the unmodified MESI write-invalidate directory protocol
-	// (the paper's d-distance 0 reference).
+	// (the paper's d-distance 0 reference); scribbles escalate to stores.
 	Baseline Protocol = iota
 	// Ghostwriter adds the GS and GI approximate states of Fig. 3.
 	Ghostwriter
+	// GWNoGI is the GS-only ablation: scribbles on shared blocks may hide
+	// in GS, but invalid blocks never enter GI (isolating how much of the
+	// win the invalid-side state contributes).
+	GWNoGI
 )
 
-// String names the protocol.
+// String returns the registered protocol-table name ("mesi",
+// "ghostwriter", "gw-noGI"). It round-trips through ParseProtocol.
 func (p Protocol) String() string {
-	if p == Ghostwriter {
-		return "Ghostwriter"
+	switch p {
+	case Ghostwriter:
+		return "ghostwriter"
+	case GWNoGI:
+		return "gw-noGI"
 	}
-	return "Baseline MESI"
+	return "mesi"
+}
+
+// ParseProtocol is the inverse of Protocol.String: it maps a registered
+// protocol-table name to the Protocol value, rejecting unknown names with
+// an error that lists the registered alternatives.
+func ParseProtocol(name string) (Protocol, error) {
+	switch name {
+	case "mesi":
+		return Baseline, nil
+	case "ghostwriter":
+		return Ghostwriter, nil
+	case "gw-noGI":
+		return GWNoGI, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (registered: %s)",
+		name, strings.Join(proto.Names(), ", "))
 }
 
 // ScribblePolicy selects how scribbles behave on blocks already resident
@@ -87,10 +117,17 @@ const (
 	PolicyEscalate = coherence.PolicyEscalate
 )
 
+// ParsePolicy is the inverse of ScribblePolicy.String, re-exported for
+// flag parsing.
+func ParsePolicy(name string) (ScribblePolicy, error) {
+	return coherence.ParsePolicy(name)
+}
+
 // Config selects a simulated system. The zero value gives the paper's
 // Table 1 machine with the baseline protocol.
 type Config struct {
-	// Protocol picks Baseline MESI or Ghostwriter.
+	// Protocol picks the coherence protocol table: Baseline MESI,
+	// Ghostwriter, or the GS-only GWNoGI ablation.
 	Protocol Protocol
 	// Policy selects the scribble residency policy (default PolicyHybrid).
 	Policy ScribblePolicy
@@ -147,6 +184,13 @@ func (c Config) MachineConfig() machine.Config {
 		mc.GITimeout = sim.Cycle(c.GITimeout)
 	}
 	mc.Ghostwriter = c.Protocol == Ghostwriter
+	if c.Protocol == GWNoGI {
+		// Only the non-default table is named explicitly: mesi and
+		// ghostwriter resolve from the legacy bool, which keeps the derived
+		// machine.Config — and every content-addressed cache key over it —
+		// byte-identical for the two protocols that predate the table.
+		mc.Protocol = c.Protocol.String()
+	}
 	mc.Policy = c.Policy
 	mc.ErrorBound = c.ErrorBound
 	mc.MSI = c.MSI

@@ -62,16 +62,20 @@ type Snapshot struct {
 }
 
 // Case is one pinned benchmark: an application at a fixed d-distance,
-// scale, and thread count.
+// scale, and thread count. Protocol optionally names the coherence
+// protocol table; empty keeps the legacy d-distance rule.
 type Case struct {
-	Name    string
-	App     string
-	DDist   int
-	Scale   int
-	Threads int
+	Name     string
+	App      string
+	DDist    int
+	Scale    int
+	Threads  int
+	Protocol string
 }
 
-func (c Case) opt() harness.Options { return harness.Options{Scale: c.Scale, Threads: c.Threads} }
+func (c Case) opt() harness.Options {
+	return harness.Options{Scale: c.Scale, Threads: c.Threads, Protocol: c.Protocol}
+}
 
 // Suite returns the pinned benchmark cases: the Fig. 1 microbenchmarks and
 // a cross-section of the Fig. 5/6 suite, at test scale with the paper's 24
@@ -86,6 +90,9 @@ func Suite() []Case {
 		{Name: "linear_regression/d8", App: "linear_regression", DDist: 8, Scale: 1, Threads: 24},
 		{Name: "histogram/d8", App: "histogram", DDist: 8, Scale: 1, Threads: 24},
 		{Name: "jpeg/d8", App: "jpeg", DDist: 8, Scale: 1, Threads: 24},
+		// Pure table-interpreted MESI with scribbles escalating to stores:
+		// the protocol selected by name rather than by d-distance.
+		{Name: "linear_regression/mesi", App: "linear_regression", DDist: 8, Scale: 1, Threads: 24, Protocol: "mesi"},
 	}
 }
 

@@ -1,0 +1,473 @@
+// Package check is an exhaustive protocol model checker for tiny machine
+// configurations. It enumerates every schedule of core operations up to a
+// bounded depth (2–3 cores, 1–3 block addresses, 4–5 op variants), runs
+// each schedule on a fresh two-level testbed (real L1 controllers, real
+// directory, real mesh — the same components the simulator uses), and
+// asserts the protocol invariants at quiescence:
+//
+//  1. Single writer: at most one L1 holds a block in M or E.
+//  2. Directory agreement: the sharer list covers every S/GS copy, and the
+//     recorded owner is exactly the M/E holder.
+//  3. GI invisibility: no GI copy is tracked by the directory.
+//  4. No silent drops: every (state, event) pair reached during the run has
+//     a table entry (holes are recorded via the controllers' OnMissing
+//     hooks and turn into detectable deadlocks instead of panics).
+//  5. Value integrity: every cached word is a value the schedule actually
+//     wrote, and a GS copy's hidden word stays within d-distance of the
+//     block's coherent value (d-distance is XOR-defined, so per-write
+//     similarity composes across a residency without widening).
+//
+// The state space is (cores × ops × addrs)^depth schedules; the shipped
+// test configurations stay in the tens of thousands, each a sub-millisecond
+// simulation, so the whole sweep fits in a CI smoke job.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostwriter/internal/approx"
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/coherence/proto"
+	"ghostwriter/internal/dram"
+	"ghostwriter/internal/energy"
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/noc"
+	"ghostwriter/internal/sim"
+	"ghostwriter/internal/stats"
+)
+
+// Opcode is one schedule-step operation variant. Near/far scribbles pin
+// both branches of the scribe comparator; the approximate store exercises
+// GS/GI absorption of conventional stores inside an approximate region.
+type Opcode uint8
+
+// Schedule-step operations.
+const (
+	Load Opcode = iota
+	Store
+	StoreApprox
+	ScribbleNear
+	ScribbleFar
+
+	NumOpcodes
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case Load:
+		return "ld"
+	case Store:
+		return "st"
+	case StoreApprox:
+		return "sta"
+	case ScribbleNear:
+		return "scrN"
+	case ScribbleFar:
+		return "scrF"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Step is one schedule entry: core issues op on Addrs[Addr] as soon as the
+// core's L1 is idle (the cores are blocking, so interleaving comes from the
+// issue order across cores).
+type Step struct {
+	Core int
+	Op   Opcode
+	Addr int
+}
+
+func (s Step) String() string { return fmt.Sprintf("c%d:%s@a%d", s.Core, s.Op, s.Addr) }
+
+func formatSchedule(steps []Step) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Config bounds one exploration.
+type Config struct {
+	Protocol *proto.Protocol
+	Cores    int
+	Addrs    []mem.Addr // distinct block-aligned addresses
+	Depth    int        // schedule length
+	DDist    int        // d-distance for scribbles and approximate stores
+	Policy   coherence.ScribblePolicy
+	// Sequential quiesces the machine between steps instead of issuing the
+	// moment the issuing core is idle. Concurrent issue explores request
+	// races; sequential issue reaches the states those races outrun at
+	// shallow depth (a scribble after losing a block to a remote store must
+	// wait for the invalidation to land before it can enter GI).
+	Sequential bool
+	// MaxViolations stops the exploration once this many schedules have
+	// failed (0 = 8). One table bug fails a large fraction of the space;
+	// the first few counterexamples carry all the signal.
+	MaxViolations int
+}
+
+// Violation is one failed schedule.
+type Violation struct {
+	Schedule []Step
+	Kind     string // "deadlock", "invariant", or "missing-transition"
+	Detail   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", formatSchedule(v.Schedule), v.Kind, v.Detail)
+}
+
+// Result summarizes an exploration. The coverage counters (summed over
+// every schedule) let tests assert the sweep actually reached the
+// approximate states rather than vacuously passing.
+type Result struct {
+	Schedules  int
+	Violations []Violation
+	GSEntries  uint64
+	GIEntries  uint64
+	Fallbacks  uint64
+}
+
+// Explore enumerates every (cores × ops × addrs)^depth schedule and runs
+// each on a fresh testbed, collecting violations up to the configured cap.
+func Explore(cfg Config) Result {
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = 8
+	}
+	alphabet := cfg.Cores * int(NumOpcodes) * len(cfg.Addrs)
+	total := 1
+	for i := 0; i < cfg.Depth; i++ {
+		total *= alphabet
+	}
+	res := Result{Schedules: total}
+	steps := make([]Step, cfg.Depth)
+	for idx := 0; idx < total; idx++ {
+		n := idx
+		for i := range steps {
+			k := n % alphabet
+			n /= alphabet
+			steps[i] = Step{
+				Core: k % cfg.Cores,
+				Op:   Opcode((k / cfg.Cores) % int(NumOpcodes)),
+				Addr: k / (cfg.Cores * int(NumOpcodes)),
+			}
+		}
+		h := newHarness(cfg)
+		v := h.run(steps)
+		res.GSEntries += h.st.GSEntries
+		res.GIEntries += h.st.GIEntries
+		res.Fallbacks += h.st.ScribbleFallbacks
+		if v != nil {
+			v.Schedule = append([]Step(nil), steps...)
+			res.Violations = append(res.Violations, *v)
+			if len(res.Violations) >= cfg.MaxViolations {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// stepLimit bounds the events fired per wait so a livelocking protocol
+// variant reads as a deadlock violation instead of hanging the checker.
+const stepLimit = 200_000
+
+// dirNode places the directory on a corner of the default 6x4 mesh, away
+// from the core nodes (ids 0..cores-1).
+const dirNode = noc.NodeID(5)
+
+// harness is one fresh testbed: real controllers on a real mesh, plus the
+// checker's write log and missing-transition recorder.
+type harness struct {
+	cfg     Config
+	eng     *sim.Engine
+	dir     *coherence.Directory
+	l1s     []*coherence.L1
+	st      *stats.Stats
+	back    *mem.Memory
+	done    int
+	issued  int
+	// coreBusy mirrors the blocking core model: a core issues its next op
+	// only after its previous op's completion callback has fired (L1.Busy
+	// alone clears one latency-cycle earlier, while the completion event is
+	// still in flight).
+	coreBusy []bool
+	missing []string
+	// written logs every value the schedule stored or scribbled per address
+	// index; initial[i] seeds it. Valid cached words must come from here.
+	initial []uint64
+	written [][]uint64
+	// approxStored marks addresses a StoreApprox targeted: GS/GI absorb
+	// approximate conventional stores without the scribe comparator (§3.2),
+	// so the d-distance drift bound does not apply to those addresses.
+	approxStored []bool
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{cfg: cfg, eng: &sim.Engine{}, st: &stats.Stats{}, back: mem.New()}
+	meter := &energy.Meter{}
+	net := noc.New(h.eng, noc.DefaultConfig(), meter, h.st)
+	ch := dram.NewChannel(h.eng, dram.DefaultConfig(), h.back, meter, h.st)
+	h.dir = coherence.NewDirectory(0, dirNode, h.eng, net, coherence.DirConfig{
+		Latency: 6, L2Latency: 10, BlockSize: 64,
+		Proto: cfg.Protocol,
+		OnMissing: func(s proto.DirState, ev proto.Event) {
+			h.missing = append(h.missing, fmt.Sprintf("dir: %v/%v", s, ev))
+		},
+	}, ch, meter, h.st)
+	home := func(mem.Addr) noc.NodeID { return dirNode }
+	for i := 0; i < cfg.Cores; i++ {
+		i := i
+		h.l1s = append(h.l1s, coherence.NewL1(i, h.eng, net, coherence.L1Config{
+			Cache:      cache.Config{SizeBytes: 4 * 64, Ways: 2, BlockSize: 64},
+			HitLatency: 2,
+			Proto:      cfg.Protocol,
+			Policy:     cfg.Policy,
+			OnMissing: func(s cache.State, ev proto.Event) {
+				h.missing = append(h.missing, fmt.Sprintf("l1 %d: %v/%v", i, proto.L1StateName(s), ev))
+			},
+		}, home, meter, h.st))
+	}
+	for node := 0; node < net.Nodes(); node++ {
+		node := noc.NodeID(node)
+		net.Register(node, func(p any) {
+			m := p.(*coherence.Msg)
+			if m.ToDir {
+				h.dir.HandleMsg(m)
+				return
+			}
+			h.l1s[int(node)].HandleMsg(m)
+		})
+	}
+	for ai, a := range cfg.Addrs {
+		v := baseValue(ai)
+		h.back.WriteUint(a, 4, v)
+		h.initial = append(h.initial, v)
+		h.written = append(h.written, []uint64{v})
+	}
+	h.approxStored = make([]bool, len(cfg.Addrs))
+	h.coreBusy = make([]bool, cfg.Cores)
+	return h
+}
+
+// baseValue spaces the addresses' value bands far apart (bit 24 and up), so
+// a word that leaks across addresses fails the membership invariant.
+func baseValue(ai int) uint64 { return uint64(ai+1) << 24 }
+
+// value picks the step's operand: near values share the band's high bits
+// (within any d >= 3 of the base), far values flip bit 12+ (outside any
+// d <= 12), and each step's value is unique so the write log stays exact.
+func (h *harness) value(s Step, stepIdx int) uint64 {
+	base := baseValue(s.Addr)
+	if s.Op == ScribbleFar {
+		return base + uint64(stepIdx+1)<<12
+	}
+	return base + uint64(stepIdx+1)
+}
+
+// runUntil fires events until pred holds, the queue drains, or the step
+// limit trips (a livelock in a buggy table).
+func (h *harness) runUntil(pred func() bool) bool {
+	for i := 0; i < stepLimit; i++ {
+		if pred() {
+			return true
+		}
+		if !h.eng.Step() {
+			return pred()
+		}
+	}
+	return pred()
+}
+
+// run executes one schedule to quiescence and checks the invariants.
+// The GI sweep is never armed: the checker's event queue must drain so
+// deadlocks are observable, and GI reclamation timing is a timeout policy,
+// not a protocol transition.
+func (h *harness) run(steps []Step) *Violation {
+	for i, s := range steps {
+		l1, c := h.l1s[s.Core], s.Core
+		if !h.runUntil(func() bool { return !h.coreBusy[c] && !l1.Busy() }) {
+			return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
+				"core %d never went idle before step %d (%s)%s", s.Core, i, s, h.missingSuffix())}
+		}
+		h.issue(s, i)
+		if h.cfg.Sequential && !h.runUntil(func() bool { return h.done == h.issued }) {
+			return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
+				"step %d (%s) never completed%s", i, s, h.missingSuffix())}
+		}
+	}
+	if !h.runUntil(func() bool { return h.done == h.issued }) {
+		return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
+			"%d of %d ops never completed%s", h.issued-h.done, h.issued, h.missingSuffix())}
+	}
+	// Drain the trailing acks/unblocks completely (nothing self-reschedules
+	// without the GI sweep), then audit the final state.
+	h.runUntil(func() bool { return false })
+	return h.checkQuiescent()
+}
+
+func (h *harness) missingSuffix() string {
+	if len(h.missing) == 0 {
+		return ""
+	}
+	return "; dropped: " + strings.Join(h.missing, ", ")
+}
+
+func (h *harness) issue(s Step, stepIdx int) {
+	op := &coherence.CoreOp{Addr: h.cfg.Addrs[s.Addr], Width: 4, DDist: -1,
+		Done: func(uint64) { h.done++; h.coreBusy[s.Core] = false }}
+	switch s.Op {
+	case Load:
+		op.Kind = coherence.OpLoad
+	case Store:
+		op.Kind = coherence.OpStore
+	case StoreApprox:
+		op.Kind = coherence.OpStore
+		op.DDist = h.cfg.DDist
+		h.approxStored[s.Addr] = true
+	case ScribbleNear, ScribbleFar:
+		op.Kind = coherence.OpScribble
+		op.DDist = h.cfg.DDist
+	}
+	if s.Op != Load {
+		op.Value = h.value(s, stepIdx)
+		h.written[s.Addr] = append(h.written[s.Addr], op.Value)
+	}
+	h.issued++
+	h.coreBusy[s.Core] = true
+	h.l1s[s.Core].Access(op)
+}
+
+// transient reports whether a state marks an in-flight transaction; none
+// may survive quiescence.
+func transient(s cache.State) bool {
+	return s == cache.ISD || s == cache.IMD || s == cache.SMA || s == cache.EVA
+}
+
+// checkQuiescent audits the drained machine against the invariants.
+func (h *harness) checkQuiescent() *Violation {
+	fail := func(format string, args ...any) *Violation {
+		return &Violation{Kind: "invariant", Detail: fmt.Sprintf(format, args...)}
+	}
+	if len(h.missing) > 0 {
+		return &Violation{Kind: "missing-transition", Detail: strings.Join(h.missing, ", ")}
+	}
+	if !h.dir.Quiesced() {
+		return fail("directory still busy after the queue drained")
+	}
+	for c, l1 := range h.l1s {
+		if l1.Busy() {
+			return fail("core %d still busy after the queue drained", c)
+		}
+	}
+	for ai, a := range h.cfg.Addrs {
+		owner, sharerMask := -1, h.dir.Sharers(a)
+		var sharers []int
+		for c, l1 := range h.l1s {
+			b := l1.Array().Lookup(a)
+			if b == nil {
+				continue
+			}
+			if transient(b.State) {
+				return fail("core %d holds a%d in transient state %v at quiescence", c, ai, b.State)
+			}
+			switch b.State {
+			case cache.Modified, cache.Exclusive:
+				if owner >= 0 {
+					return fail("a%d has two writable copies (cores %d and %d)", ai, owner, c)
+				}
+				owner = c
+			case cache.Shared, cache.GS:
+				sharers = append(sharers, c)
+				if sharerMask&(1<<uint(c)) == 0 {
+					return fail("core %d holds a%d in %v but is not on the sharer list (mask %b)",
+						c, ai, b.State, sharerMask)
+				}
+			case cache.GI:
+				if sharerMask&(1<<uint(c)) != 0 {
+					return fail("core %d holds a%d in GI yet rides the sharer list", c, ai)
+				}
+				if h.dir.Owner(a) == c {
+					return fail("core %d holds a%d in GI yet is the recorded owner", c, ai)
+				}
+			}
+			if v := h.checkWord(ai, a, c, b); v != nil {
+				return v
+			}
+		}
+		if owner >= 0 {
+			if got := h.dir.Owner(a); got != owner {
+				return fail("a%d owned by core %d but the directory records %d", ai, owner, got)
+			}
+			if len(sharers) > 0 {
+				return fail("a%d has sharers %v alongside owner %d", ai, sharers, owner)
+			}
+		} else if got := h.dir.Owner(a); got >= 0 {
+			return fail("a%d: directory records owner %d but no L1 holds M/E", ai, got)
+		}
+	}
+	return nil
+}
+
+// coherentWord is the system-wide value of a at quiescence: the owner's
+// copy if one exists, else the directory/L2 line, else backing memory.
+func (h *harness) coherentWord(a mem.Addr) uint64 {
+	for _, l1 := range h.l1s {
+		if b := l1.Array().Lookup(a); b != nil &&
+			(b.State == cache.Modified || b.State == cache.Exclusive) {
+			return b.ReadWord(l1.Array().Offset(a), 4)
+		}
+	}
+	if data, ok := h.dir.Peek(a); ok {
+		return mem.DecodeUint(data[:4])
+	}
+	return h.back.ReadUint(a, 4)
+}
+
+// checkWord audits one cached copy's data: any readable word must be a
+// value the schedule wrote there, coherent copies must equal the coherent
+// word, and a GS copy (whose residency re-runs the comparator under the
+// hybrid and escalate policies) must stay within d-distance of it.
+func (h *harness) checkWord(ai int, a mem.Addr, c int, b *cache.Block) *Violation {
+	readable := b.State == cache.Shared || b.State == cache.Exclusive ||
+		b.State == cache.Modified || b.State == cache.GS || b.State == cache.GI
+	if !readable {
+		return nil
+	}
+	w := b.ReadWord(h.l1s[c].Array().Offset(a), 4)
+	member := false
+	for _, v := range h.written[ai] {
+		if v == w {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return &Violation{Kind: "invariant", Detail: fmt.Sprintf(
+			"core %d a%d (%v): word %#x was never written to this address", c, ai, b.State, w)}
+	}
+	switch b.State {
+	case cache.Shared:
+		if coh := h.coherentWord(a); w != coh {
+			return &Violation{Kind: "invariant", Detail: fmt.Sprintf(
+				"core %d a%d: Shared copy %#x diverges from coherent %#x", c, ai, w, coh)}
+		}
+	case cache.GS:
+		if h.cfg.Policy == coherence.PolicyResident || h.approxStored[ai] {
+			// PolicyResident skips the comparator during residency, and
+			// approximate conventional stores are absorbed without it
+			// (§3.2): drift is unbounded by design on those paths.
+			return nil
+		}
+		if coh := h.coherentWord(a); !approx.Within(w, coh, 32, h.cfg.DDist) {
+			return &Violation{Kind: "invariant", Detail: fmt.Sprintf(
+				"core %d a%d: GS hidden word %#x beyond d=%d of coherent %#x",
+				c, ai, w, h.cfg.DDist, coh)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/coherence/proto"
+	"ghostwriter/internal/mem"
+)
+
+// twoBlocks maps to the 2-set test cache's two sets: no conflict misses.
+var twoBlocks = []mem.Addr{0x000, 0x040}
+
+// sameSet forces conflict evictions: three blocks, two ways, one set.
+var sameSet = []mem.Addr{0x000, 0x080, 0x100}
+
+func explore(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res := Explore(cfg)
+	for _, v := range res.Violations {
+		t.Errorf("%s: %s", cfg.Protocol.Name, v)
+	}
+	t.Logf("%s: %d schedules, GS=%d GI=%d fallbacks=%d",
+		cfg.Protocol.Name, res.Schedules, res.GSEntries, res.GIEntries, res.Fallbacks)
+	return res
+}
+
+// TestRegisteredProtocols sweeps every registered table over all depth-3
+// schedules of two cores on two non-conflicting blocks, in both issue
+// modes, and pins the expected coverage on the sequential sweep (whose
+// scribbles cannot be outrun by in-flight invalidations): ghostwriter
+// enters both GS and GI, the ablation only GS, and mesi neither (its
+// scribbles all escalate).
+func TestRegisteredProtocols(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		wantGS bool
+		wantGI bool
+	}{
+		{"mesi", false, false},
+		{"ghostwriter", true, true},
+		{"gw-noGI", true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Protocol: proto.MustLookup(tc.name),
+				Cores:    2,
+				Addrs:    twoBlocks,
+				Depth:    3,
+				DDist:    8,
+				Policy:   coherence.PolicyHybrid,
+			}
+			explore(t, cfg)
+			cfg.Sequential = true
+			res := explore(t, cfg)
+			if got := res.GSEntries > 0; got != tc.wantGS {
+				t.Errorf("GS entries = %d, want >0: %v", res.GSEntries, tc.wantGS)
+			}
+			if got := res.GIEntries > 0; got != tc.wantGI {
+				t.Errorf("GI entries = %d, want >0: %v", res.GIEntries, tc.wantGI)
+			}
+		})
+	}
+}
+
+// TestThreeCores concentrates three cores on a single block — the densest
+// contention the invariants (single writer, sharer-list agreement) face.
+func TestThreeCores(t *testing.T) {
+	explore(t, Config{
+		Protocol: proto.MustLookup("ghostwriter"),
+		Cores:    3,
+		Addrs:    []mem.Addr{0x000},
+		Depth:    3,
+		DDist:    8,
+		Policy:   coherence.PolicyHybrid,
+	})
+}
+
+// TestEvictionPressure maps three blocks onto one two-way set, so schedules
+// force the eviction transaction (PUTS/PUTE/PUTM, EV_A, deferred installs)
+// through the same invariants.
+func TestEvictionPressure(t *testing.T) {
+	explore(t, Config{
+		Protocol: proto.MustLookup("ghostwriter"),
+		Cores:    2,
+		Addrs:    sameSet,
+		Depth:    3,
+		DDist:    8,
+		Policy:   coherence.PolicyHybrid,
+	})
+}
+
+// TestScribblePolicies re-runs the contention sweep under the resident and
+// escalate policies, which flip which comparator guards fire during GS/GI
+// residencies.
+func TestScribblePolicies(t *testing.T) {
+	for _, p := range []coherence.ScribblePolicy{coherence.PolicyResident, coherence.PolicyEscalate} {
+		t.Run(p.String(), func(t *testing.T) {
+			explore(t, Config{
+				Protocol: proto.MustLookup("ghostwriter"),
+				Cores:    2,
+				Addrs:    []mem.Addr{0x000},
+				Depth:    4,
+				DDist:    8,
+				Policy:   p,
+			})
+		})
+	}
+}
+
+// TestDepth4 is the deeper smoke sweep: every depth-4 schedule of two cores
+// on two blocks (160k schedules). Skipped under -short so the race-enabled
+// CI job stays fast; the full run is the protocol-check CI step.
+func TestDepth4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-depth smoke only under -short")
+	}
+	explore(t, Config{
+		Protocol: proto.MustLookup("ghostwriter"),
+		Cores:    2,
+		Addrs:    twoBlocks,
+		Depth:    4,
+		DDist:    8,
+		Policy:   coherence.PolicyHybrid,
+	})
+}
+
+func violationsMention(res Result, substr string) bool {
+	for _, v := range res.Violations {
+		if strings.Contains(v.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSeededL1BugDetected demonstrates the checker catches a table bug: a
+// ghostwriter clone missing the (S, Inv) transition drops the directory's
+// invalidation, so the invalidating store never collects its ack — the
+// checker reports the deadlock and names the dropped pair.
+func TestSeededL1BugDetected(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Shared][proto.EvInv] = nil
+	res := Explore(Config{
+		Protocol: bug,
+		Cores:    2,
+		Addrs:    []mem.Addr{0x000},
+		Depth:    3,
+		DDist:    8,
+		Policy:   coherence.PolicyHybrid,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("removing the (S, Inv) transition went undetected")
+	}
+	if !violationsMention(res, "S/Inv") {
+		t.Errorf("no violation names the dropped S/Inv pair:\n%s", res.Violations[0])
+	}
+}
+
+// TestSeededDirBugDetected seeds the directory side: without the
+// (DS, UPGRADE) row the upgrade request is dropped with the line busy, and
+// the upgrading core hangs.
+func TestSeededDirBugDetected(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.Dir[proto.DirShared][proto.EvUPGRADE-proto.EvGETS] = nil
+	res := Explore(Config{
+		Protocol: bug,
+		Cores:    2,
+		Addrs:    []mem.Addr{0x000},
+		Depth:    3,
+		DDist:    8,
+		Policy:   coherence.PolicyHybrid,
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("removing the (DS, UPGRADE) row went undetected")
+	}
+	if !violationsMention(res, "DS/UPGRADE") {
+		t.Errorf("no violation names the dropped DS/UPGRADE pair:\n%s", res.Violations[0])
+	}
+}

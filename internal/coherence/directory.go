@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"ghostwriter/internal/coherence/proto"
 	"ghostwriter/internal/dram"
 	"ghostwriter/internal/energy"
 	"ghostwriter/internal/mem"
@@ -35,34 +36,31 @@ type DirConfig struct {
 	// granted ownership directly, saving the follow-up UPGRADE and its
 	// invalidation.
 	MigratoryOpt bool
+	// Proto is the transition-table protocol the directory interprets for
+	// request dispatch. When nil, "mesi" is used (the shipped protocols
+	// share one directory table: the Ghostwriter states are invisible at
+	// the directory).
+	Proto *proto.Protocol
+	// OnMissing, when set, replaces the panic on a (state, request) pair
+	// with no table entry: the event is recorded and the request dropped,
+	// leaving the line busy — the model checker surfaces the resulting
+	// deadlock instead of crashing.
+	OnMissing func(s proto.DirState, ev proto.Event)
 }
 
-// dirState is the directory's view of a block.
-type dirState uint8
-
+// The directory's view of a block is a proto.DirState; the short aliases
+// keep the controller readable.
 const (
-	dirInvalid dirState = iota // no tracked copies
-	dirShared                  // one or more read-only copies (incl. hidden GS)
-	dirOwned                   // one owner in E or M
+	dirInvalid = proto.DirInvalid // no tracked copies
+	dirShared  = proto.DirShared  // one or more read-only copies (incl. hidden GS)
+	dirOwned   = proto.DirOwned   // one owner in E or M
 )
-
-func (s dirState) String() string {
-	switch s {
-	case dirInvalid:
-		return "DI"
-	case dirShared:
-		return "DS"
-	case dirOwned:
-		return "DM"
-	}
-	return "?"
-}
 
 // dirLine is the directory entry plus L2 data for one block. The directory
 // is blocking: one transaction per block at a time, with later requests
 // queued FIFO.
 type dirLine struct {
-	state   dirState
+	state   proto.DirState
 	owner   int
 	sharers uint32 // bitmask over L1 ids (≤ 32 cores)
 
@@ -100,6 +98,7 @@ type Directory struct {
 	meter *energy.Meter
 	st    *stats.Stats
 	cfg   DirConfig
+	proto *proto.Protocol
 	dram  *dram.Channel
 	pool  *MsgPool
 	lines lineTable
@@ -116,6 +115,9 @@ type Directory struct {
 // channel for blocks not present in its L2 bank.
 func NewDirectory(id int, node noc.NodeID, eng *sim.Engine, net *noc.Network,
 	cfg DirConfig, ch *dram.Channel, meter *energy.Meter, st *stats.Stats) *Directory {
+	if cfg.Proto == nil {
+		cfg.Proto = proto.MustLookup("mesi")
+	}
 	d := &Directory{
 		id:    id,
 		node:  node,
@@ -124,6 +126,7 @@ func NewDirectory(id int, node noc.NodeID, eng *sim.Engine, net *noc.Network,
 		meter: meter,
 		st:    st,
 		cfg:   cfg,
+		proto: cfg.Proto,
 		dram:  ch,
 	}
 	d.dispatchFn = d.dispatchLine
@@ -322,16 +325,190 @@ func (d *Directory) dispatchLine(arg any) {
 	d.dispatch(e, e.cur)
 }
 
+// dirEventOf maps a request message type to its directory protocol event.
+func dirEventOf(t MsgType) proto.Event {
+	switch t {
+	case GETS:
+		return proto.EvGETS
+	case GETX:
+		return proto.EvGETX
+	case UPGRADE:
+		return proto.EvUPGRADE
+	case PUTS:
+		return proto.EvPUTS
+	case PUTE:
+		return proto.EvPUTE
+	case PUTM:
+		return proto.EvPUTM
+	}
+	panic(fmt.Sprintf("coherence: no directory event for message %v", t))
+}
+
+// dispatch interprets the protocol's directory table for the request: the
+// line's state selects the rule list and the first rule whose guards pass
+// fires. Grant actions that need block data run their tails after the
+// asynchronous L2/DRAM fetch, exactly like the hand-written controller.
 func (d *Directory) dispatch(e *dirLine, m *Msg) {
 	d.meter.DirAccess()
 	d.st.DirAccesses++
-	switch m.Type {
-	case GETS:
-		d.handleGETS(e, m)
-	case GETX, UPGRADE:
-		d.handleGETX(e, m)
-	case PUTS, PUTE, PUTM:
-		d.handlePUT(e, m)
+	ev := dirEventOf(m.Type)
+	rules := d.proto.Dir.Rules(e.state, ev)
+	for i := range rules {
+		t := &rules[i]
+		ok := true
+		for _, g := range t.Guards {
+			if !d.evalGuard(g, e, m) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if t.Next != proto.DirStay {
+			e.state = t.Next
+		}
+		for _, a := range t.Actions {
+			d.runAction(a, e, m)
+		}
+		return
+	}
+	if d.cfg.OnMissing != nil {
+		// Drop the request, leaving the line busy: a table hole becomes a
+		// deadlock the model checker can observe.
+		d.cfg.OnMissing(e.state, ev)
+		return
+	}
+	panic(fmt.Sprintf("dir %d: no %v transition in state %v", d.id, ev, e.state))
+}
+
+func (d *Directory) evalGuard(g proto.DirGuard, e *dirLine, m *Msg) bool {
+	switch g {
+	case proto.DGNoExclusive:
+		return d.cfg.NoExclusive
+	case proto.DGMigratory:
+		return d.cfg.MigratoryOpt && e.migratory
+	case proto.DGOwnerIsFrom:
+		return e.owner == m.From
+	case proto.DGFromListed:
+		return e.sharers&bit(m.From) != 0
+	}
+	panic(fmt.Sprintf("dir %d: unknown guard %v", d.id, g))
+}
+
+func (d *Directory) runAction(a proto.DirAction, e *dirLine, m *Msg) {
+	switch a {
+	case proto.DNoteWrite:
+		d.noteWrite(e, m.From)
+	case proto.DAssertNotOwner:
+		if e.owner == m.From {
+			panic(fmt.Sprintf("dir %d: owner %v for %#x", d.id, m.Type, m.Addr))
+		}
+	case proto.DGrantFreshS:
+		a := m.Addr
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataS, e, a)
+			e.state = dirShared
+			e.sharers = bit(m.From)
+			e.needUnblock = true
+		})
+	case proto.DGrantFreshE:
+		a := m.Addr
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataE, e, a)
+			e.state = dirOwned
+			e.owner = m.From
+			e.needUnblock = true
+		})
+	case proto.DGrantFreshM:
+		a := m.Addr
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataM, e, a)
+			e.state = dirOwned
+			e.owner = m.From
+			e.needUnblock = true
+		})
+	case proto.DGrantSharedS:
+		a := m.Addr
+		d.withData(e, a, func() {
+			d.replyData(m.From, DataS, e, a)
+			e.sharers |= bit(m.From)
+			e.needUnblock = true
+		})
+	case proto.DFwdGETSOwner:
+		// Ask the owner to forward data and downgrade; the transaction
+		// completes when both the owner's writeback and the requestor's
+		// unblock arrive.
+		e.lastReader = m.From
+		e.needData = true
+		e.needUnblock = true
+		d.sendCtl(e.owner, FwdGETS, m.Addr, m.From)
+	case proto.DFwdGETXOwner:
+		// Forward to the old owner; ownership moves to the requestor,
+		// whose unblock completes the transaction.
+		oldOwner := e.owner
+		e.owner = m.From
+		e.needUnblock = true
+		d.sendCtl(oldOwner, FwdGETX, m.Addr, m.From)
+	case proto.DMigratoryGrant:
+		// Migratory block: hand the reader ownership directly (the write
+		// is coming); the old owner invalidates instead of downgrading,
+		// and the follow-up UPGRADE never happens.
+		e.lastReader = m.From
+		oldOwner := e.owner
+		e.owner = m.From
+		e.needUnblock = true
+		d.sendCtl(oldOwner, FwdGETX, m.Addr, m.From)
+	case proto.DInvAndGrant:
+		// An UPGRADE from a cache that has since been invalidated (a
+		// raced, stale upgrade) is promoted to a GETX and answered with
+		// data.
+		a := m.Addr
+		upgradeValid := m.Type == UPGRADE && e.sharers&bit(m.From) != 0
+		others := e.sharers &^ bit(m.From)
+		grant := func() {
+			if upgradeValid {
+				d.sendCtl(m.From, UpgAck, a, m.From)
+			} else {
+				d.replyData(m.From, DataM, e, a)
+			}
+			e.state = dirOwned
+			e.owner = m.From
+			e.sharers = 0
+			e.needUnblock = true
+		}
+		if others == 0 {
+			grant()
+			return
+		}
+		// Invalidate every other sharer and collect acks before granting.
+		e.pendingAck = bits.OnesCount32(others)
+		e.onAcksDone = grant
+		for id := 0; others != 0; id++ {
+			if others&1 != 0 {
+				d.sendCtl(id, Inv, a, m.From)
+			}
+			others >>= 1
+		}
+	case proto.DDropSharer:
+		e.sharers &^= bit(m.From)
+		if e.sharers == 0 {
+			e.state = dirInvalid
+		}
+	case proto.DWriteback:
+		// Dirty writeback into the L2 bank.
+		e.data = append(e.data[:0], m.Data...)
+		e.hasData = true
+		d.meter.L2Access()
+		d.st.L2Accesses++
+	case proto.DClearOwner:
+		e.state = dirInvalid
+		e.owner = -1
+	case proto.DPutAckFinish:
+		d.sendCtl(m.From, PutAck, m.Addr, m.From)
+		d.finish(e)
+	default:
+		panic(fmt.Sprintf("dir %d: unknown action %v", d.id, a))
 	}
 }
 
@@ -482,54 +659,6 @@ func (d *Directory) replyData(l1 int, t MsgType, e *dirLine, a mem.Addr) {
 
 func bit(id int) uint32 { return 1 << uint(id) }
 
-func (d *Directory) handleGETS(e *dirLine, m *Msg) {
-	a := m.Addr
-	switch e.state {
-	case dirInvalid:
-		// No copies: grant Exclusive (the MESI optimization), or Shared
-		// under the MSI base protocol.
-		d.withData(e, a, func() {
-			if d.cfg.NoExclusive {
-				d.replyData(m.From, DataS, e, a)
-				e.state = dirShared
-				e.sharers = bit(m.From)
-			} else {
-				d.replyData(m.From, DataE, e, a)
-				e.state = dirOwned
-				e.owner = m.From
-			}
-			e.needUnblock = true
-		})
-	case dirShared:
-		d.withData(e, a, func() {
-			d.replyData(m.From, DataS, e, a)
-			e.sharers |= bit(m.From)
-			e.needUnblock = true
-		})
-	case dirOwned:
-		if e.owner == m.From {
-			panic(fmt.Sprintf("dir %d: owner GETS for %#x", d.id, a))
-		}
-		if d.cfg.MigratoryOpt && e.migratory {
-			// Migratory block: hand the reader ownership directly (the
-			// write is coming); the old owner invalidates instead of
-			// downgrading, and the follow-up UPGRADE never happens.
-			e.lastReader = m.From
-			oldOwner := e.owner
-			e.owner = m.From
-			e.needUnblock = true
-			d.sendCtl(oldOwner, FwdGETX, a, m.From)
-			return
-		}
-		// Ask the owner to forward data and downgrade; the transaction
-		// completes when both the owner's writeback and the requestor's
-		// unblock arrive.
-		e.lastReader = m.From
-		e.needData = true
-		e.needUnblock = true
-		d.sendCtl(e.owner, FwdGETS, a, m.From)
-	}
-}
 
 // noteWrite feeds the migratory detector on a write-permission request: a
 // write by the core that opened the current read generation extends the
@@ -552,103 +681,7 @@ func (d *Directory) noteWrite(e *dirLine, writer int) {
 	}
 }
 
-// handleGETX serves GETX and UPGRADE. An UPGRADE from a cache that has
-// since been invalidated (a raced, stale upgrade) is promoted to a GETX and
-// answered with data.
-func (d *Directory) handleGETX(e *dirLine, m *Msg) {
-	a := m.Addr
-	d.noteWrite(e, m.From)
-	switch e.state {
-	case dirInvalid:
-		d.withData(e, a, func() {
-			d.replyData(m.From, DataM, e, a)
-			e.state = dirOwned
-			e.owner = m.From
-			e.needUnblock = true
-		})
-	case dirShared:
-		upgradeValid := m.Type == UPGRADE && e.sharers&bit(m.From) != 0
-		others := e.sharers &^ bit(m.From)
-		grant := func() {
-			if upgradeValid {
-				d.sendCtl(m.From, UpgAck, a, m.From)
-			} else {
-				d.replyData(m.From, DataM, e, a)
-			}
-			e.state = dirOwned
-			e.owner = m.From
-			e.sharers = 0
-			e.needUnblock = true
-		}
-		if others == 0 {
-			grant()
-			return
-		}
-		// Invalidate every other sharer and collect acks before granting.
-		e.pendingAck = bits.OnesCount32(others)
-		e.onAcksDone = grant
-		for id := 0; others != 0; id++ {
-			if others&1 != 0 {
-				d.sendCtl(id, Inv, a, m.From)
-			}
-			others >>= 1
-		}
-	case dirOwned:
-		if e.owner == m.From {
-			panic(fmt.Sprintf("dir %d: owner GETX for %#x", d.id, a))
-		}
-		// Forward to the old owner; ownership moves to the requestor,
-		// whose unblock completes the transaction.
-		oldOwner := e.owner
-		e.owner = m.From
-		e.needUnblock = true
-		d.sendCtl(oldOwner, FwdGETX, a, m.From)
-	}
-}
 
-func (d *Directory) handlePUT(e *dirLine, m *Msg) {
-	a := m.Addr
-	switch m.Type {
-	case PUTS:
-		if e.state == dirShared && e.sharers&bit(m.From) != 0 {
-			e.sharers &^= bit(m.From)
-			if e.sharers == 0 {
-				e.state = dirInvalid
-			}
-		} // else stale: the copy was already invalidated or reclaimed.
-	case PUTM:
-		switch {
-		case e.state == dirOwned && e.owner == m.From:
-			// Dirty writeback into the L2 bank.
-			e.data = append(e.data[:0], m.Data...)
-			e.hasData = true
-			d.meter.L2Access()
-			d.st.L2Accesses++
-			e.state = dirInvalid
-			e.owner = -1
-		case e.state == dirShared && e.sharers&bit(m.From) != 0:
-			// The evictor was downgraded by a FwdGETS mid-eviction; its
-			// data already reached L2 via DataToDir. Just drop the sharer.
-			e.sharers &^= bit(m.From)
-			if e.sharers == 0 {
-				e.state = dirInvalid
-			}
-		} // else stale: ownership already moved on; discard the data.
-	case PUTE:
-		switch {
-		case e.state == dirOwned && e.owner == m.From:
-			e.state = dirInvalid
-			e.owner = -1
-		case e.state == dirShared && e.sharers&bit(m.From) != 0:
-			e.sharers &^= bit(m.From)
-			if e.sharers == 0 {
-				e.state = dirInvalid
-			}
-		}
-	}
-	d.sendCtl(m.From, PutAck, a, m.From)
-	d.finish(e)
-}
 
 func (d *Directory) handleInvAck(e *dirLine, m *Msg) {
 	if !e.busy || e.pendingAck <= 0 {

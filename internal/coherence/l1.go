@@ -5,6 +5,7 @@ import (
 
 	"ghostwriter/internal/approx"
 	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence/proto"
 	"ghostwriter/internal/energy"
 	"ghostwriter/internal/mem"
 	"ghostwriter/internal/noc"
@@ -82,12 +83,31 @@ func (p ScribblePolicy) String() string {
 	return "hybrid"
 }
 
+// ParsePolicy is the inverse of ScribblePolicy.String.
+func ParsePolicy(name string) (ScribblePolicy, error) {
+	switch name {
+	case "hybrid":
+		return PolicyHybrid, nil
+	case "resident":
+		return PolicyResident, nil
+	case "escalate":
+		return PolicyEscalate, nil
+	}
+	return PolicyHybrid, fmt.Errorf("unknown scribble policy %q (want hybrid, resident, or escalate)", name)
+}
+
 // L1Config parametrizes an L1 controller.
 type L1Config struct {
-	Cache       cache.Config
-	HitLatency  sim.Cycle // Table 1: 2 cycles
-	GITimeout   sim.Cycle // Table 1: 1024 cycles; 0 disables the sweep
-	Ghostwriter bool      // enable GS/GI transitions (false = baseline MESI)
+	Cache      cache.Config
+	HitLatency sim.Cycle // Table 1: 2 cycles
+	GITimeout  sim.Cycle // Table 1: 1024 cycles; 0 disables the sweep
+	// Proto is the transition-table protocol the controller interprets.
+	// When nil, the legacy Ghostwriter bool selects "ghostwriter" or
+	// "mesi" from the registry.
+	Proto *proto.Protocol
+	// Ghostwriter enables the GS/GI protocol when Proto is nil (legacy
+	// selector; false = baseline MESI).
+	Ghostwriter bool
 	Policy      ScribblePolicy
 	// ErrorBound caps the hidden writes absorbed during one GS/GI
 	// residency (§3.5's error-bounding extension, after Rumba-style
@@ -111,11 +131,21 @@ type L1Config struct {
 	// and the value currently in the cache block, irrespective of
 	// coherence state (the Fig. 2 methodology).
 	ProfileSimilarity bool
+	// OnMissing, when set, replaces the panic on a (state, event) pair
+	// with no table entry: the event is recorded and dropped. The model
+	// checker uses it to turn silent protocol holes into detectable
+	// deadlocks instead of crashes.
+	OnMissing func(s cache.State, ev proto.Event)
 }
 
 // L1 is one private L1 data cache controller with its core-facing port and
 // network-facing protocol engine. The paper keeps all Ghostwriter changes
 // local to the L1 level; so does this implementation.
+//
+// The controller interprets its protocol's transition table: each core op
+// or network message becomes a proto.Event, the block's state (or Absent)
+// selects the rule list, and the first rule whose guards pass fires — its
+// Next state is applied, then its action primitives run in order.
 //
 // The controller is blocking (one core op, one eviction at a time), so all
 // transaction context lives in flat fields instead of per-transaction
@@ -130,10 +160,13 @@ type L1 struct {
 	st    *stats.Stats
 	arr   *cache.Cache
 	cfg   L1Config
+	proto *proto.Protocol
 	home  func(mem.Addr) noc.NodeID
 	pool  *MsgPool
 
 	cur                *CoreOp
+	curMsg             *Msg // the message being dispatched (nil for core ops)
+	actVal             uint64
 	invAfterFill       bool
 	upgradeInvalidated bool
 	pendingFwd         *Msg
@@ -162,6 +195,13 @@ type L1 struct {
 // home maps a block address to its directory's node.
 func NewL1(id int, eng *sim.Engine, net *noc.Network, cfg L1Config,
 	home func(mem.Addr) noc.NodeID, meter *energy.Meter, st *stats.Stats) *L1 {
+	if cfg.Proto == nil {
+		if cfg.Ghostwriter {
+			cfg.Proto = proto.MustLookup("ghostwriter")
+		} else {
+			cfg.Proto = proto.MustLookup("mesi")
+		}
+	}
 	l := &L1{
 		id:    id,
 		node:  noc.NodeID(id),
@@ -171,6 +211,7 @@ func NewL1(id int, eng *sim.Engine, net *noc.Network, cfg L1Config,
 		st:    st,
 		arr:   cache.New(cfg.Cache),
 		cfg:   cfg,
+		proto: cfg.Proto,
 		home:  home,
 	}
 	l.stopped = true
@@ -188,11 +229,14 @@ func (l *L1) UsePool(p *MsgPool) { l.pool = p }
 // CurrentGITimeout returns the controller's (possibly adapted) sweep period.
 func (l *L1) CurrentGITimeout() sim.Cycle { return l.curTimeout }
 
-// StartSweep arms the periodic GI timeout (a no-op for baseline configs).
-// The machine arms it at the start of a run and stops it at the end so the
-// event queue can drain.
+// Protocol returns the transition-table protocol the controller interprets.
+func (l *L1) Protocol() *proto.Protocol { return l.proto }
+
+// StartSweep arms the periodic GI timeout (a no-op for protocols without
+// GI). The machine arms it at the start of a run and stops it at the end so
+// the event queue can drain.
 func (l *L1) StartSweep() {
-	if !l.cfg.Ghostwriter || l.cfg.GITimeout == 0 || !l.stopped {
+	if !l.proto.HasGI || l.cfg.GITimeout == 0 || !l.stopped {
 		return
 	}
 	l.stopped = false
@@ -255,7 +299,7 @@ func (l *L1) Access(op *CoreOp) {
 	switch op.Kind {
 	case OpLoad:
 		l.st.Loads++
-		l.load(op, b)
+		l.dispatch(proto.EvLoad, b)
 		return
 	case OpStore, OpAtomicAdd:
 		l.st.Stores++
@@ -266,11 +310,226 @@ func (l *L1) Access(op *CoreOp) {
 		old := b.ReadWord(l.arr.Offset(op.Addr), op.Width)
 		l.st.RecordDistance(approx.Distance(old, op.Value, approx.Width(op.Width*8)))
 	}
-	if op.Kind == OpScribble && l.cfg.Ghostwriter && op.DDist >= 0 {
-		l.scribble(op, b)
+	if op.Kind == OpScribble && op.DDist >= 0 {
+		// Inside an enabled approximate region; the protocol's table
+		// decides what a scribble means (mesi escalates it to a store).
+		l.dispatch(proto.EvScribble, b)
 		return
 	}
-	l.store(op, b)
+	l.dispatch(proto.EvStore, b)
+}
+
+// dispatch interprets the protocol table for one event against the block's
+// current state (Absent when the tag is not cached). The first rule whose
+// guards all pass fires: its Next state is applied, then its actions run.
+func (l *L1) dispatch(ev proto.Event, b *cache.Block) {
+	s := proto.Absent
+	if b != nil {
+		s = b.State
+	}
+	rules := l.proto.L1[s][ev]
+	for i := range rules {
+		t := &rules[i]
+		if !l.guardsPass(t.Guards, b) {
+			continue
+		}
+		if t.Next != proto.Stay {
+			b.State = t.Next
+		}
+		for _, a := range t.Actions {
+			l.runAction(a, b)
+		}
+		return
+	}
+	if l.cfg.OnMissing != nil {
+		l.cfg.OnMissing(s, ev)
+		return
+	}
+	panic(fmt.Sprintf("l1 %d: no %v transition in state %v", l.id, ev, proto.L1StateName(s)))
+}
+
+// guardsPass evaluates a rule's guards in order, short-circuiting — guard
+// side effects (comparator energy, the drift monitor's count) happen
+// exactly when the guard is reached.
+func (l *L1) guardsPass(guards []proto.Guard, b *cache.Block) bool {
+	for _, g := range guards {
+		if !l.evalGuard(g, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *L1) evalGuard(g proto.Guard, b *cache.Block) bool {
+	switch g {
+	case proto.GApproxStore:
+		return l.cur.Kind != OpAtomicAdd && l.cur.DDist >= 0
+	case proto.GUnderBound:
+		return !l.boundExceeded(b)
+	case proto.GWithin:
+		return l.within(b)
+	case proto.GResidentOrWithin:
+		return l.cfg.Policy == PolicyResident || l.within(b)
+	case proto.GNotEscalateOrWithin:
+		return l.cfg.Policy != PolicyEscalate || l.within(b)
+	case proto.GStaleLoad:
+		return l.cfg.StaleLoads && l.cur.DDist >= 0
+	case proto.GGrantIsS:
+		return l.curMsg.Grant == GrantS
+	case proto.GGrantIsM:
+		return l.curMsg.Grant == GrantM
+	}
+	panic(fmt.Sprintf("l1 %d: unknown guard %v", l.id, g))
+}
+
+// within runs the scribe comparator: is the scribbled value d-distance
+// similar to the block's current (possibly stale) word?
+func (l *L1) within(b *cache.Block) bool {
+	l.meter.Scribe()
+	op := l.cur
+	old := b.ReadWord(l.arr.Offset(op.Addr), op.Width)
+	return approx.Within(old, op.Value, approx.Width(op.Width*8), op.DDist)
+}
+
+// touchAddr is the address the current event refers to: the message's for
+// network events, the op's for core events.
+func (l *L1) touchAddr() mem.Addr {
+	if l.curMsg != nil {
+		return l.curMsg.Addr
+	}
+	return l.cur.Addr
+}
+
+func (l *L1) runAction(a proto.Action, b *cache.Block) {
+	switch a {
+	case proto.ACountLoadHit:
+		l.st.L1LoadHits++
+	case proto.ACountStaleHit:
+		l.st.StaleLoadHits++
+	case proto.ACountLoadMiss:
+		l.st.L1LoadMisses++
+	case proto.ACountStoreMiss:
+		l.st.L1StoreMisses++
+	case proto.ACountStoresOnS:
+		l.st.StoresOnS++
+	case proto.ACountStoresOnI:
+		l.st.StoresOnI++
+	case proto.ACountServicedGS:
+		l.st.ServicedByGS++
+	case proto.ACountServicedGI:
+		l.st.ServicedByGI++
+	case proto.ACountGSEntry:
+		l.st.GSEntries++
+	case proto.ACountGIEntry:
+		l.st.GIEntries++
+	case proto.ACountFallback:
+		l.st.ScribbleFallbacks++
+	case proto.ACountGSInv:
+		l.st.GSInvalidations++
+	case proto.AMeterRead:
+		l.meter.L1Read()
+	case proto.AMeterTag:
+		l.meter.L1Tag()
+	case proto.AMeterWrite:
+		l.meter.L1Write()
+	case proto.ATouch:
+		l.arr.Touch(l.touchAddr())
+	case proto.ASetHidden1:
+		b.Hidden = 1
+	case proto.AClearUpgInv:
+		l.upgradeInvalidated = false
+	case proto.ACompleteHitLoad:
+		l.complete(l.cfg.HitLatency, b.ReadWord(l.arr.Offset(l.cur.Addr), l.cur.Width))
+	case proto.ACompleteFillLoad:
+		l.complete(1, b.ReadWord(l.arr.Offset(l.cur.Addr), l.cur.Width))
+	case proto.ACompleteWrite:
+		l.complete(1, l.actVal)
+	case proto.AWriteHit:
+		l.writeHit(l.cur, b)
+	case proto.AApplyWrite:
+		l.actVal = l.applyWrite(l.cur, b)
+	case proto.AAsStore:
+		l.dispatch(proto.EvStore, b)
+	case proto.ASendGETS:
+		l.sendReq(GETS, l.cur.Addr)
+	case proto.ASendGETX:
+		l.sendReq(GETX, l.cur.Addr)
+	case proto.ASendUPGRADE:
+		l.sendReq(UPGRADE, l.cur.Addr)
+	case proto.AAllocGETS:
+		l.allocFrame(l.cur.Addr, cache.ISD, GETS)
+	case proto.AAllocGETX:
+		l.allocFrame(l.cur.Addr, cache.IMD, GETX)
+	case proto.AAckInv:
+		ack := l.pool.Get()
+		ack.Type, ack.Addr, ack.From, ack.ToDir = InvAck, l.curMsg.Addr, l.id, true
+		l.send(l.home(l.curMsg.Addr), ack)
+	case proto.AMarkUpgInvalidated:
+		// Our UPGRADE raced with this invalidating transaction; the
+		// directory will answer our (now stale) UPGRADE with data.
+		l.upgradeInvalidated = true
+	case proto.AMarkInvAfterFill:
+		// Our GETS was granted (we are on the sharer list) but the data is
+		// still in flight from a remote owner; the fill will complete the
+		// load with the granted value and then drop to Invalid.
+		l.invAfterFill = true
+	case proto.ARecallData:
+		// Surrender an owned block so the L2 home can evict its line
+		// (inclusive-hierarchy recall). The tag is kept, per the paper's
+		// I-state convention.
+		l.meter.L1Read()
+		r := l.pool.Get()
+		r.Type, r.Addr, r.From, r.ToDir = RecallData, l.curMsg.Addr, l.id, true
+		r.Data = append(r.Data[:0], b.Data...)
+		l.send(l.home(l.curMsg.Addr), r)
+	case proto.AServeFwd:
+		l.serveFwd(l.curMsg, b)
+	case proto.ADeferFwd:
+		// We have just been made owner but our data grant is still in
+		// flight; defer until the fill completes. The directory is busy on
+		// this block until we respond, so at most one forward can stack.
+		if l.pendingFwd != nil {
+			panic(fmt.Sprintf("l1 %d: second pending forward", l.id))
+		}
+		l.pendingFwd = l.curMsg
+	case proto.AFill:
+		if l.cur == nil {
+			panic(fmt.Sprintf("l1 %d: stray fill %v for %#x", l.id, l.curMsg.Type, l.curMsg.Addr))
+		}
+		copy(b.Data, l.curMsg.Data)
+		l.meter.L1Write()
+	case proto.AInvAfterFill:
+		if l.invAfterFill {
+			// The block was invalidated between grant and fill; the load
+			// still completes with the granted (then-coherent) value.
+			b.State = cache.Invalid
+			l.invAfterFill = false
+		}
+	case proto.AUnblock:
+		l.sendUnblock(l.curMsg.Addr)
+	case proto.AAssertUpgValid:
+		if l.cur == nil {
+			panic(fmt.Sprintf("l1 %d: stray UpgAck for %#x", l.id, l.curMsg.Addr))
+		}
+		if l.upgradeInvalidated {
+			panic(fmt.Sprintf("l1 %d: UpgAck after invalidation", l.id))
+		}
+	case proto.AServeDeferred:
+		if l.pendingFwd != nil {
+			f := l.pendingFwd
+			l.pendingFwd = nil
+			l.serveFwd(f, b)
+			l.pool.Put(f)
+		}
+	case proto.AFinishEviction:
+		if !l.evActive || l.evAddr != l.curMsg.Addr {
+			panic(fmt.Sprintf("l1 %d: stray PutAck for %#x", l.id, l.curMsg.Addr))
+		}
+		l.evActive = false
+		l.installAndRequest()
+	default:
+		panic(fmt.Sprintf("l1 %d: unknown action %v", l.id, a))
+	}
 }
 
 // complete finishes the current core operation after lat cycles. The L1 is
@@ -307,192 +566,6 @@ func (l *L1) sendReq(t MsgType, a mem.Addr) {
 	m := l.pool.Get()
 	m.Type, m.Addr, m.From, m.ToDir = t, base, l.id, true
 	l.send(l.home(base), m)
-}
-
-// load services a core load.
-func (l *L1) load(op *CoreOp, b *cache.Block) {
-	if b != nil && b.State.ReadableLocally() {
-		// Hit. Loads on GS/GI read the locally (possibly divergently)
-		// modified data: approximate execution.
-		l.st.L1LoadHits++
-		l.meter.L1Read()
-		l.arr.Touch(op.Addr)
-		l.complete(l.cfg.HitLatency, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
-		return
-	}
-	if l.cfg.StaleLoads && b != nil && b.State == cache.Invalid && op.DDist >= 0 {
-		// Rengasamy-style stale-load approximation: execute on the
-		// invalidated copy rather than waiting for coherent data.
-		l.st.L1LoadHits++
-		l.st.StaleLoadHits++
-		l.meter.L1Read()
-		l.arr.Touch(op.Addr)
-		l.complete(l.cfg.HitLatency, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
-		return
-	}
-	l.st.L1LoadMisses++
-	l.meter.L1Tag()
-	if b != nil {
-		// Tag present but Invalid: a coherence miss; reuse the frame.
-		b.State = cache.ISD
-		l.sendReq(GETS, op.Addr)
-		return
-	}
-	l.allocFrame(op.Addr, cache.ISD, GETS)
-}
-
-// store services a conventional store (also the scribble fallback path).
-func (l *L1) store(op *CoreOp, b *cache.Block) {
-	if b == nil {
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		l.allocFrame(op.Addr, cache.IMD, GETX)
-		return
-	}
-	switch b.State {
-	case cache.Modified:
-		l.writeHit(op, b)
-	case cache.Exclusive:
-		b.State = cache.Modified
-		l.writeHit(op, b)
-	case cache.GS:
-		// §3.2: while the controller is in approximate mode (setaprx
-		// active, op.DDist >= 0), blocks in GS/GI have full local write
-		// permission, so even conventional stores hit and stay hidden; in
-		// the baseline protocol this store would have missed on a
-		// read-only block, so it counts as serviced by GS (Fig. 7a).
-		// After endaprx the controller reverts GS/GI handling to the
-		// conventional protocol: the store escalates to an UPGRADE, which
-		// publishes the block's locally accumulated data — this is what
-		// makes post-region result handoffs (Listing 3's approx_end
-		// epilogue) coherent.
-		if op.Kind != OpAtomicAdd && op.DDist >= 0 && !l.boundExceeded(b) {
-			l.st.StoresOnS++
-			l.st.ServicedByGS++
-			l.writeHit(op, b)
-			return
-		}
-		l.st.StoresOnS++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		l.upgradeInvalidated = false
-		b.State = cache.SMA
-		l.sendReq(UPGRADE, op.Addr)
-	case cache.GI:
-		// Likewise the Fig. 7b metric; the post-region escalation is a
-		// GETX whose grant replaces the divergent copy before the store.
-		if op.Kind != OpAtomicAdd && op.DDist >= 0 && !l.boundExceeded(b) {
-			l.st.StoresOnI++
-			l.st.ServicedByGI++
-			l.writeHit(op, b)
-			return
-		}
-		l.st.StoresOnI++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		b.State = cache.IMD
-		l.sendReq(GETX, op.Addr)
-	case cache.Shared:
-		l.st.StoresOnS++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		l.upgradeInvalidated = false
-		b.State = cache.SMA
-		l.sendReq(UPGRADE, op.Addr)
-	case cache.Invalid:
-		l.st.StoresOnI++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		b.State = cache.IMD
-		l.sendReq(GETX, op.Addr)
-	default:
-		panic(fmt.Sprintf("l1 %d: store in state %v", l.id, b.State))
-	}
-}
-
-// scribble services an approximate store per Fig. 3: the scribe comparator
-// decides whether the new value is d-distance similar to the block's
-// current (possibly stale) word; if so, the write completes locally in GS
-// or GI, otherwise it falls back to the conventional protocol.
-func (l *L1) scribble(op *CoreOp, b *cache.Block) {
-	if b == nil {
-		// No tag: nothing to compare against; conventional miss.
-		l.store(op, b)
-		return
-	}
-	within := func() bool {
-		l.meter.Scribe()
-		old := b.ReadWord(l.arr.Offset(op.Addr), op.Width)
-		return approx.Within(old, op.Value, approx.Width(op.Width*8), op.DDist)
-	}
-	switch b.State {
-	case cache.Modified, cache.Exclusive:
-		// Coherently owned; behaves like a store, no comparison needed.
-		l.store(op, b)
-	case cache.Shared:
-		if within() {
-			l.st.StoresOnS++
-			l.st.ServicedByGS++
-			l.st.GSEntries++
-			b.State = cache.GS
-			b.Hidden = 1
-			l.writeHit(op, b)
-			return
-		}
-		l.st.ScribbleFallbacks++
-		l.store(op, b)
-	case cache.GS:
-		// Fig. 3 residency (PolicyResident): the block already has hidden
-		// write permission, so the scribble hits — in the baseline this
-		// store would have missed on a read-only block, so it counts as
-		// serviced (Fig. 7a). Under PolicyEscalate the scribe re-compares,
-		// and a dissimilar value falls back to an UPGRADE that, once
-		// granted, publishes the locally accumulated block as the coherent
-		// M copy, bounding divergence drift.
-		if (l.cfg.Policy == PolicyResident || within()) && !l.boundExceeded(b) {
-			l.st.StoresOnS++
-			l.st.ServicedByGS++
-			l.writeHit(op, b)
-			return
-		} // dissimilar (or over the drift bound): escalate below
-		l.st.ScribbleFallbacks++
-		l.st.StoresOnS++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		l.upgradeInvalidated = false
-		b.State = cache.SMA
-		l.sendReq(UPGRADE, op.Addr)
-	case cache.GI:
-		// Same for GI (Fig. 7b); the PolicyEscalate fallback is a GETX
-		// whose data grant overwrites the divergent local copy with the
-		// coherent one before applying the store.
-		if (l.cfg.Policy != PolicyEscalate || within()) && !l.boundExceeded(b) {
-			l.st.StoresOnI++
-			l.st.ServicedByGI++
-			l.writeHit(op, b)
-			return
-		}
-		l.st.ScribbleFallbacks++
-		l.st.StoresOnI++
-		l.st.L1StoreMisses++
-		l.meter.L1Tag()
-		b.State = cache.IMD
-		l.sendReq(GETX, op.Addr)
-	case cache.Invalid:
-		if within() {
-			l.st.StoresOnI++
-			l.st.ServicedByGI++
-			l.st.GIEntries++
-			b.State = cache.GI
-			b.Hidden = 1
-			l.writeHit(op, b)
-			return
-		}
-		l.st.ScribbleFallbacks++
-		l.store(op, b)
-	default:
-		panic(fmt.Sprintf("l1 %d: scribble in state %v", l.id, b.State))
-	}
 }
 
 // boundExceeded applies the §3.5 drift monitor: it counts one more hidden
@@ -583,107 +656,44 @@ func (l *L1) installAndRequest() {
 	l.sendReq(l.fillReq, l.fillAddr)
 }
 
+// eventOf maps a network message type to its L1 protocol event.
+func eventOf(t MsgType) proto.Event {
+	switch t {
+	case Inv:
+		return proto.EvInv
+	case RecallOwn:
+		return proto.EvRecallOwn
+	case FwdGETS:
+		return proto.EvFwdGETS
+	case FwdGETX:
+		return proto.EvFwdGETX
+	case DataS:
+		return proto.EvDataS
+	case DataE:
+		return proto.EvDataE
+	case DataM:
+		return proto.EvDataM
+	case DataC2C:
+		return proto.EvDataC2C
+	case UpgAck:
+		return proto.EvUpgAck
+	case PutAck:
+		return proto.EvPutAck
+	}
+	panic(fmt.Sprintf("coherence: no L1 event for message %v", t))
+}
+
 // HandleMsg processes one network message addressed to this L1 and, as the
 // receiver, recycles it — unless the handler retained it (a forward
 // deferred until the in-flight fill arrives).
 func (l *L1) HandleMsg(m *Msg) {
-	switch m.Type {
-	case Inv:
-		l.handleInv(m)
-	case RecallOwn:
-		l.handleRecall(m)
-	case FwdGETS, FwdGETX:
-		l.handleFwd(m)
-		if l.pendingFwd == m {
-			return // retained; freed by handleFill after serving it
-		}
-	case DataS, DataE, DataM, DataC2C:
-		l.handleFill(m)
-	case UpgAck:
-		l.handleUpgAck(m)
-	case PutAck:
-		l.handlePutAck(m)
-	default:
-		panic(fmt.Sprintf("l1 %d: unexpected message %v", l.id, m.Type))
+	l.curMsg = m
+	l.dispatch(eventOf(m.Type), l.arr.Lookup(m.Addr))
+	l.curMsg = nil
+	if l.pendingFwd == m {
+		return // retained; freed after the fill serves it
 	}
 	l.pool.Put(m)
-}
-
-func (l *L1) handleInv(m *Msg) {
-	b := l.arr.Lookup(m.Addr)
-	if b == nil {
-		panic(fmt.Sprintf("l1 %d: Inv for absent block %#x", l.id, m.Addr))
-	}
-	switch b.State {
-	case cache.Shared:
-		b.State = cache.Invalid
-	case cache.GS:
-		// A remote conventional store reclaims the block: the hidden
-		// updates are lost, returning the block to system-wide coherency.
-		b.State = cache.Invalid
-		l.st.GSInvalidations++
-	case cache.SMA:
-		// Our UPGRADE raced with this invalidating transaction; the
-		// directory will answer our (now stale) UPGRADE with data.
-		l.upgradeInvalidated = true
-	case cache.ISD:
-		// Our GETS was granted (we are on the sharer list) but the data is
-		// still in flight from a remote owner; the fill will complete the
-		// load with the granted value and then drop to Invalid.
-		l.invAfterFill = true
-	case cache.EVA:
-		// Mid-eviction of an S/GS copy; just acknowledge.
-	default:
-		panic(fmt.Sprintf("l1 %d: Inv in state %v", l.id, b.State))
-	}
-	ack := l.pool.Get()
-	ack.Type, ack.Addr, ack.From, ack.ToDir = InvAck, m.Addr, l.id, true
-	l.send(l.home(m.Addr), ack)
-}
-
-// handleRecall surrenders an owned block so the L2 home can evict its line
-// (inclusive-hierarchy recall). The tag is kept, per the paper's I-state
-// convention.
-func (l *L1) handleRecall(m *Msg) {
-	b := l.arr.Lookup(m.Addr)
-	if b == nil {
-		panic(fmt.Sprintf("l1 %d: RecallOwn for absent block %#x", l.id, m.Addr))
-	}
-	switch b.State {
-	case cache.Modified, cache.Exclusive:
-		b.State = cache.Invalid
-	case cache.EVA:
-		// Mid-eviction: surrender the held data; the in-flight PUT will be
-		// stale-acked.
-	default:
-		panic(fmt.Sprintf("l1 %d: RecallOwn in state %v", l.id, b.State))
-	}
-	l.meter.L1Read()
-	r := l.pool.Get()
-	r.Type, r.Addr, r.From, r.ToDir = RecallData, m.Addr, l.id, true
-	r.Data = append(r.Data[:0], b.Data...)
-	l.send(l.home(m.Addr), r)
-}
-
-func (l *L1) handleFwd(m *Msg) {
-	b := l.arr.Lookup(m.Addr)
-	if b == nil {
-		panic(fmt.Sprintf("l1 %d: %v for absent block %#x", l.id, m.Type, m.Addr))
-	}
-	switch b.State {
-	case cache.Modified, cache.Exclusive, cache.EVA:
-		l.serveFwd(m, b)
-	case cache.IMD, cache.SMA:
-		// We have just been made owner but our data grant is still in
-		// flight; defer until the fill completes. The directory is busy on
-		// this block until we respond, so at most one forward can stack.
-		if l.pendingFwd != nil {
-			panic(fmt.Sprintf("l1 %d: second pending forward", l.id))
-		}
-		l.pendingFwd = m
-	default:
-		panic(fmt.Sprintf("l1 %d: %v in state %v", l.id, m.Type, b.State))
-	}
 }
 
 // serveFwd answers a forwarded request from our owned copy: data goes
@@ -714,87 +724,10 @@ func (l *L1) serveFwd(m *Msg, b *cache.Block) {
 	}
 }
 
-// handleFill processes a data grant for the outstanding miss.
-func (l *L1) handleFill(m *Msg) {
-	b := l.arr.Lookup(m.Addr)
-	if b == nil || l.cur == nil {
-		panic(fmt.Sprintf("l1 %d: stray fill %v for %#x", l.id, m.Type, m.Addr))
-	}
-	op := l.cur
-	copy(b.Data, m.Data)
-	l.meter.L1Write()
-	switch b.State {
-	case cache.ISD:
-		switch {
-		case m.Type == DataS || (m.Type == DataC2C && m.Grant == GrantS):
-			b.State = cache.Shared
-		case m.Type == DataE:
-			b.State = cache.Exclusive
-		case m.Type == DataC2C && m.Grant == GrantM:
-			// The migratory optimization granted a read request full
-			// ownership (the directory predicts the write).
-			b.State = cache.Modified
-		default:
-			panic(fmt.Sprintf("l1 %d: fill %v/grant %d in IS_D", l.id, m.Type, m.Grant))
-		}
-		if l.invAfterFill {
-			// The block was invalidated between grant and fill; the load
-			// still completes with the granted (then-coherent) value.
-			b.State = cache.Invalid
-			l.invAfterFill = false
-		}
-		l.arr.Touch(m.Addr)
-		l.sendUnblock(m.Addr)
-		l.complete(1, b.ReadWord(l.arr.Offset(op.Addr), op.Width))
-	case cache.IMD, cache.SMA:
-		if m.Type != DataM && !(m.Type == DataC2C && m.Grant == GrantM) {
-			panic(fmt.Sprintf("l1 %d: fill %v/grant %d in %v", l.id, m.Type, m.Grant, b.State))
-		}
-		b.State = cache.Modified
-		v := l.applyWrite(op, b)
-		l.arr.Touch(m.Addr)
-		l.sendUnblock(m.Addr)
-		l.complete(1, v)
-		if l.pendingFwd != nil {
-			f := l.pendingFwd
-			l.pendingFwd = nil
-			l.serveFwd(f, b)
-			l.pool.Put(f)
-		}
-	default:
-		panic(fmt.Sprintf("l1 %d: fill in state %v", l.id, b.State))
-	}
-}
-
-func (l *L1) handleUpgAck(m *Msg) {
-	b := l.arr.Lookup(m.Addr)
-	if b == nil || b.State != cache.SMA || l.cur == nil {
-		panic(fmt.Sprintf("l1 %d: stray UpgAck for %#x", l.id, m.Addr))
-	}
-	if l.upgradeInvalidated {
-		panic(fmt.Sprintf("l1 %d: UpgAck after invalidation", l.id))
-	}
-	op := l.cur
-	b.State = cache.Modified
-	v := l.applyWrite(op, b)
-	l.meter.L1Write()
-	l.arr.Touch(m.Addr)
-	l.sendUnblock(m.Addr)
-	l.complete(1, v)
-}
-
 // sendUnblock releases the home directory's per-block busy state after a
 // grant has been installed.
 func (l *L1) sendUnblock(a mem.Addr) {
 	m := l.pool.Get()
 	m.Type, m.Addr, m.From, m.ToDir = Unblock, a, l.id, true
 	l.send(l.home(a), m)
-}
-
-func (l *L1) handlePutAck(m *Msg) {
-	if !l.evActive || l.evAddr != m.Addr {
-		panic(fmt.Sprintf("l1 %d: stray PutAck for %#x", l.id, m.Addr))
-	}
-	l.evActive = false
-	l.installAndRequest()
 }

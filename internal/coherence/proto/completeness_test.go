@@ -1,0 +1,174 @@
+package proto
+
+import (
+	"testing"
+
+	"ghostwriter/internal/cache"
+)
+
+// TestTableCompleteness asserts, for every registered protocol, that the
+// transition tables and the unreachable allowlists partition the full
+// (state, event) space: each pair either has table rules or a documented
+// reason it can never occur — never both, never neither. A protocol change
+// that forgets a pair therefore fails here at enumeration time instead of
+// panicking (or silently dropping an event) deep inside a simulation.
+func TestTableCompleteness(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			for si := 0; si < NumL1States; si++ {
+				for ei := 0; ei < NumL1Events; ei++ {
+					s, ev := cache.State(si), Event(ei)
+					why, listed := p.L1Unreachable[L1Key{State: s, Event: ev}]
+					switch covered := p.L1[si][ei] != nil; {
+					case covered && listed:
+						t.Errorf("L1 %s/%v: in the table AND allowlisted as unreachable (%q)",
+							L1StateName(s), ev, why)
+					case !covered && !listed:
+						t.Errorf("L1 %s/%v: neither in the table nor allowlisted", L1StateName(s), ev)
+					case listed && why == "":
+						t.Errorf("L1 %s/%v: allowlisted without a reason", L1StateName(s), ev)
+					}
+				}
+			}
+			for si := 0; si < int(NumDirStates); si++ {
+				for ev := EvGETS; ev < NumEvents; ev++ {
+					s := DirState(si)
+					why, listed := p.DirUnreachable[DirKey{State: s, Event: ev}]
+					switch covered := p.Dir.Rules(s, ev) != nil; {
+					case covered && listed:
+						t.Errorf("dir %v/%v: in the table AND allowlisted as unreachable (%q)", s, ev, why)
+					case !covered && !listed:
+						t.Errorf("dir %v/%v: neither in the table nor allowlisted", s, ev)
+					case listed && why == "":
+						t.Errorf("dir %v/%v: allowlisted without a reason", s, ev)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllowlistKeysInRange rejects allowlist entries that name pairs outside
+// the tables' index space (a directory event in the L1 allowlist, a state
+// past Absent): such an entry can never pair with a table hole, so it would
+// silently document nothing.
+func TestAllowlistKeysInRange(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		for k := range p.L1Unreachable {
+			if int(k.State) >= NumL1States || int(k.Event) >= NumL1Events {
+				t.Errorf("%s: L1 allowlist key %s/%v is outside the L1 table", name, L1StateName(k.State), k.Event)
+			}
+		}
+		for k := range p.DirUnreachable {
+			if int(k.State) >= int(NumDirStates) || k.Event < EvGETS || k.Event >= NumEvents {
+				t.Errorf("%s: dir allowlist key %v/%v is outside the directory table", name, k.State, k.Event)
+			}
+		}
+	}
+}
+
+// TestTableStructure lints the rule lists the interpreters execute blindly:
+// every entry must hold at least one rule (a present-but-empty list would
+// fall through to the missing-pair path while counting as covered), every
+// guard/action/next value must be in range, and Absent rows must keep Stay —
+// there is no block to write a next state into, so the interpreter would
+// dereference nil.
+func TestTableStructure(t *testing.T) {
+	for _, name := range Names() {
+		p := MustLookup(name)
+		for si := 0; si < NumL1States; si++ {
+			for ei := 0; ei < NumL1Events; ei++ {
+				rules := p.L1[si][ei]
+				if rules == nil {
+					continue
+				}
+				s, ev := cache.State(si), Event(ei)
+				at := func() string { return name + " L1 " + L1StateName(s) + "/" + ev.String() }
+				if len(rules) == 0 {
+					t.Errorf("%s: empty rule list (covered but unexecutable)", at())
+				}
+				for ri, r := range rules {
+					if r.Next != Stay && int(r.Next) >= NumL1States-1 { // Absent is not a settable state
+						t.Errorf("%s rule %d: next state %d out of range", at(), ri, r.Next)
+					}
+					if s == Absent && r.Next != Stay {
+						t.Errorf("%s rule %d: Absent row must keep Stay (no block to update)", at(), ri)
+					}
+					for _, g := range r.Guards {
+						if g >= NumGuards {
+							t.Errorf("%s rule %d: guard %d out of range", at(), ri, g)
+						}
+					}
+					if len(r.Actions) == 0 {
+						t.Errorf("%s rule %d: no actions", at(), ri)
+					}
+					for _, a := range r.Actions {
+						if a >= NumActions {
+							t.Errorf("%s rule %d: action %d out of range", at(), ri, a)
+						}
+					}
+				}
+			}
+		}
+		for si := 0; si < int(NumDirStates); si++ {
+			for ev := EvGETS; ev < NumEvents; ev++ {
+				s := DirState(si)
+				rules := p.Dir.Rules(s, ev)
+				if rules == nil {
+					continue
+				}
+				at := func() string { return name + " dir " + s.String() + "/" + ev.String() }
+				if len(rules) == 0 {
+					t.Errorf("%s: empty rule list (covered but unexecutable)", at())
+				}
+				for ri, r := range rules {
+					if r.Next != DirStay && int(r.Next) >= int(NumDirStates) {
+						t.Errorf("%s rule %d: next state %d out of range", at(), ri, r.Next)
+					}
+					for _, g := range r.Guards {
+						if g >= NumDirGuards {
+							t.Errorf("%s rule %d: guard %d out of range", at(), ri, g)
+						}
+					}
+					if len(r.Actions) == 0 {
+						t.Errorf("%s rule %d: no actions", at(), ri)
+					}
+					for _, a := range r.Actions {
+						if a >= NumDirActions {
+							t.Errorf("%s rule %d: action %d out of range", at(), ri, a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCloneIsDeep mutates every layer of a clone and checks the registered
+// original is untouched — the model checker's seeded-bug tests depend on it.
+func TestCloneIsDeep(t *testing.T) {
+	orig := MustLookup("ghostwriter")
+	c := orig.Clone()
+	c.L1[cache.Shared][EvInv] = nil
+	c.Dir[0][0] = nil
+	c.L1Unreachable[L1Key{State: cache.Shared, Event: EvInv}] = "seeded"
+	c.DirUnreachable[DirKey{State: DirInvalid, Event: EvGETS}] = "seeded"
+	if orig.L1[cache.Shared][EvInv] == nil || orig.Dir[0][0] == nil {
+		t.Fatal("Clone shares table storage with the registered protocol")
+	}
+	if _, ok := orig.L1Unreachable[L1Key{State: cache.Shared, Event: EvInv}]; ok {
+		t.Fatal("Clone shares the L1 allowlist map")
+	}
+	if _, ok := orig.DirUnreachable[DirKey{State: DirInvalid, Event: EvGETS}]; ok {
+		t.Fatal("Clone shares the dir allowlist map")
+	}
+	// Rule-slice internals too: mutating a cloned rule's action list must not
+	// reach the original.
+	c2 := orig.Clone()
+	c2.L1[cache.Shared][EvLoad][0].Actions[0] = AFinishEviction
+	if orig.L1[cache.Shared][EvLoad][0].Actions[0] == AFinishEviction {
+		t.Fatal("Clone shares action slices with the registered protocol")
+	}
+}

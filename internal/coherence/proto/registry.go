@@ -1,0 +1,45 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+)
+
+var registry = map[string]*Protocol{}
+
+// Register adds a protocol to the registry; duplicate names panic.
+func Register(p *Protocol) {
+	if p.Name == "" {
+		panic("proto: registering unnamed protocol")
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("proto: duplicate protocol %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// Lookup returns the registered protocol with the given name.
+func Lookup(name string) (*Protocol, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// MustLookup returns the registered protocol or panics, naming the
+// alternatives.
+func MustLookup(name string) *Protocol {
+	p, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("proto: unknown protocol %q (registered: %v)", name, Names()))
+	}
+	return p
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,301 @@
+package proto
+
+import "ghostwriter/internal/cache"
+
+// The three shipped protocols share one directory table (the Ghostwriter
+// states are invisible to the directory: GS rides the sharer list, GI is
+// untracked) and differ only in the L1 rows that enter and service GS/GI:
+//
+//   - mesi:        pure baseline; scribbles escalate to conventional stores.
+//   - ghostwriter: the paper's Fig. 3 — GS and GI.
+//   - gw-noGI:     the GS-only ablation; scribbles on Invalid blocks run
+//     conventionally (no comparator, no fallback counted).
+func init() {
+	dir, dirUn := buildDir()
+	mesiL1, mesiUn := buildL1(false, false)
+	Register(&Protocol{Name: "mesi", L1: mesiL1, Dir: dir,
+		L1Unreachable: mesiUn, DirUnreachable: dirUn})
+	gwL1, gwUn := buildL1(true, true)
+	Register(&Protocol{Name: "ghostwriter", HasGI: true, L1: gwL1, Dir: dir,
+		L1Unreachable: gwUn, DirUnreachable: dirUn})
+	noGIL1, noGIUn := buildL1(true, false)
+	Register(&Protocol{Name: "gw-noGI", L1: noGIL1, Dir: dir,
+		L1Unreachable: noGIUn, DirUnreachable: dirUn})
+}
+
+// tr builds an unguarded rule; trg a guarded one.
+func tr(next cache.State, actions ...Action) Transition {
+	return Transition{Next: next, Actions: actions}
+}
+
+func trg(guards []Guard, next cache.State, actions ...Action) Transition {
+	return Transition{Guards: guards, Next: next, Actions: actions}
+}
+
+func g(guards ...Guard) []Guard { return guards }
+
+// buildL1 assembles the L1 table with the GS rows (gs) and GI rows (gi)
+// included or omitted. Omitted approximate states are blanket-allowlisted
+// as never entered.
+func buildL1(gs, gi bool) (L1Table, map[L1Key]string) {
+	var t L1Table
+	un := map[L1Key]string{}
+	row := func(s cache.State, ev Event, rules ...Transition) {
+		t[s][ev] = rules
+	}
+	mark := func(why string, ev Event, states ...cache.State) {
+		for _, s := range states {
+			un[L1Key{State: s, Event: ev}] = why
+		}
+	}
+
+	// ---- Core-side events -------------------------------------------------
+
+	const blocked = "the core is blocking: no new op while a miss or eviction is outstanding"
+	for _, ev := range []Event{EvLoad, EvStore, EvScribble} {
+		mark(blocked, ev, cache.ISD, cache.IMD, cache.SMA, cache.EVA)
+	}
+
+	// Load: hits on every locally readable state (GS/GI read the divergent
+	// local data — approximate execution); Invalid may hit stale under the
+	// StaleLoads extension, else it is a coherence miss reusing the frame.
+	hitLoad := tr(Stay, ACountLoadHit, AMeterRead, ATouch, ACompleteHitLoad)
+	row(cache.Shared, EvLoad, hitLoad)
+	row(cache.Exclusive, EvLoad, hitLoad)
+	row(cache.Modified, EvLoad, hitLoad)
+	if gs {
+		row(cache.GS, EvLoad, hitLoad)
+	}
+	if gi {
+		row(cache.GI, EvLoad, hitLoad)
+	}
+	row(cache.Invalid, EvLoad,
+		trg(g(GStaleLoad), Stay, ACountLoadHit, ACountStaleHit, AMeterRead, ATouch, ACompleteHitLoad),
+		tr(cache.ISD, ACountLoadMiss, AMeterTag, ASendGETS))
+	row(Absent, EvLoad, tr(Stay, ACountLoadMiss, AMeterTag, AAllocGETS))
+
+	// Store (also the target of scribble escalation via AAsStore). The
+	// GS/GI rows service conventional stores locally while the region is
+	// approximate (§3.2); past the region (or for atomics, or past the
+	// drift bound) they escalate — UPGRADE from GS publishes the locally
+	// accumulated block, GETX from GI refetches coherent data.
+	escalateS := tr(cache.SMA, ACountStoresOnS, ACountStoreMiss, AMeterTag, AClearUpgInv, ASendUPGRADE)
+	escalateI := tr(cache.IMD, ACountStoresOnI, ACountStoreMiss, AMeterTag, ASendGETX)
+	row(Absent, EvStore, tr(Stay, ACountStoreMiss, AMeterTag, AAllocGETX))
+	row(cache.Modified, EvStore, tr(Stay, AWriteHit))
+	row(cache.Exclusive, EvStore, tr(cache.Modified, AWriteHit))
+	row(cache.Shared, EvStore, escalateS)
+	row(cache.Invalid, EvStore, escalateI)
+	if gs {
+		row(cache.GS, EvStore,
+			trg(g(GApproxStore, GUnderBound), Stay, ACountStoresOnS, ACountServicedGS, AWriteHit),
+			escalateS)
+	}
+	if gi {
+		row(cache.GI, EvStore,
+			trg(g(GApproxStore, GUnderBound), Stay, ACountStoresOnI, ACountServicedGI, AWriteHit),
+			escalateI)
+	}
+
+	// Scribble: the scribe comparator gates entry into GS/GI (Fig. 3);
+	// residency behavior is policy-dependent (hybrid re-compares on GS
+	// only, resident never, escalate in both states). Dissimilar values
+	// fall back to the conventional store path.
+	asStore := tr(Stay, AAsStore)
+	row(Absent, EvScribble, asStore)
+	row(cache.Modified, EvScribble, asStore)
+	row(cache.Exclusive, EvScribble, asStore)
+	if gs {
+		row(cache.Shared, EvScribble,
+			trg(g(GWithin), cache.GS, ACountStoresOnS, ACountServicedGS, ACountGSEntry, ASetHidden1, AWriteHit),
+			tr(Stay, ACountFallback, AAsStore))
+		row(cache.GS, EvScribble,
+			trg(g(GResidentOrWithin, GUnderBound), Stay, ACountStoresOnS, ACountServicedGS, AWriteHit),
+			tr(cache.SMA, ACountFallback, ACountStoresOnS, ACountStoreMiss, AMeterTag, AClearUpgInv, ASendUPGRADE))
+	} else {
+		row(cache.Shared, EvScribble, asStore)
+	}
+	if gi {
+		row(cache.Invalid, EvScribble,
+			trg(g(GWithin), cache.GI, ACountStoresOnI, ACountServicedGI, ACountGIEntry, ASetHidden1, AWriteHit),
+			tr(Stay, ACountFallback, AAsStore))
+		row(cache.GI, EvScribble,
+			trg(g(GNotEscalateOrWithin, GUnderBound), Stay, ACountStoresOnI, ACountServicedGI, AWriteHit),
+			tr(cache.IMD, ACountFallback, ACountStoresOnI, ACountStoreMiss, AMeterTag, ASendGETX))
+	} else {
+		row(cache.Invalid, EvScribble, asStore)
+	}
+
+	// ---- Network-side events ----------------------------------------------
+
+	// Inv: the directory invalidates listed sharers. A GS copy loses its
+	// hidden updates (back to system-wide coherency); SM_A marks its raced
+	// upgrade stale; IS_D completes the in-flight fill then drops;
+	// EV_A just acknowledges (the PUT is in flight).
+	row(cache.Shared, EvInv, tr(cache.Invalid, AAckInv))
+	if gs {
+		row(cache.GS, EvInv, tr(cache.Invalid, ACountGSInv, AAckInv))
+	}
+	row(cache.SMA, EvInv, tr(Stay, AMarkUpgInvalidated, AAckInv))
+	row(cache.ISD, EvInv, tr(Stay, AMarkInvAfterFill, AAckInv))
+	row(cache.EVA, EvInv, tr(Stay, AAckInv))
+	mark("untracked: the directory only invalidates listed sharers",
+		EvInv, Absent, cache.Invalid)
+	mark("the owner is reclaimed by FwdGETX or RecallOwn, never Inv",
+		EvInv, cache.Exclusive, cache.Modified)
+	mark("IM_D is only entered from untracked I/GI; GS escalations go through SM_A",
+		EvInv, cache.IMD)
+	if gi {
+		mark("GI copies are unknown to the directory (entered from untracked I)",
+			EvInv, cache.GI)
+	}
+
+	// RecallOwn / forwards target the recorded owner.
+	row(cache.Modified, EvRecallOwn, tr(cache.Invalid, ARecallData))
+	row(cache.Exclusive, EvRecallOwn, tr(cache.Invalid, ARecallData))
+	row(cache.EVA, EvRecallOwn, tr(Stay, ARecallData))
+	{
+		why := "recalls target the recorded owner: M/E, or EV_A mid-eviction"
+		states := []cache.State{Absent, cache.Invalid, cache.Shared, cache.ISD, cache.IMD, cache.SMA}
+		if gs {
+			states = append(states, cache.GS)
+		}
+		if gi {
+			states = append(states, cache.GI)
+		}
+		mark(why, EvRecallOwn, states...)
+	}
+	for _, ev := range []Event{EvFwdGETS, EvFwdGETX} {
+		row(cache.Modified, ev, tr(Stay, AServeFwd))
+		row(cache.Exclusive, ev, tr(Stay, AServeFwd))
+		row(cache.EVA, ev, tr(Stay, AServeFwd))
+		row(cache.IMD, ev, tr(Stay, ADeferFwd))
+		row(cache.SMA, ev, tr(Stay, ADeferFwd))
+		why := "forwards target the recorded owner: M/E, EV_A mid-eviction, or IM_D/SM_A awaiting the ownership grant"
+		states := []cache.State{Absent, cache.Invalid, cache.Shared, cache.ISD}
+		if gs {
+			states = append(states, cache.GS)
+		}
+		if gi {
+			states = append(states, cache.GI)
+		}
+		mark(why, ev, states...)
+	}
+
+	// Fills, upgrade acks, put acks: answers to the single outstanding
+	// transaction.
+	fillLoad := []Action{AFill, AInvAfterFill, ATouch, AUnblock, ACompleteFillLoad}
+	fillWrite := []Action{AFill, AApplyWrite, ATouch, AUnblock, ACompleteWrite, AServeDeferred}
+	row(cache.ISD, EvDataS, tr(cache.Shared, fillLoad...))
+	row(cache.ISD, EvDataE, tr(cache.Exclusive, fillLoad...))
+	row(cache.ISD, EvDataC2C,
+		trg(g(GGrantIsS), cache.Shared, fillLoad...),
+		trg(g(GGrantIsM), cache.Modified, fillLoad...)) // migratory grant to a read
+	row(cache.IMD, EvDataM, tr(cache.Modified, fillWrite...))
+	row(cache.SMA, EvDataM, tr(cache.Modified, fillWrite...)) // raced upgrade answered with data
+	row(cache.IMD, EvDataC2C, trg(g(GGrantIsM), cache.Modified, fillWrite...))
+	row(cache.SMA, EvDataC2C, trg(g(GGrantIsM), cache.Modified, fillWrite...))
+	row(cache.SMA, EvUpgAck,
+		tr(cache.Modified, AAssertUpgValid, AApplyWrite, AMeterWrite, ATouch, AUnblock, ACompleteWrite))
+	row(cache.EVA, EvPutAck, tr(Stay, AFinishEviction))
+	others := func(ev Event, why string, in ...cache.State) {
+		ok := map[cache.State]bool{}
+		for _, s := range in {
+			ok[s] = true
+		}
+		var states []cache.State
+		for si := 0; si < NumL1States; si++ {
+			s := cache.State(si)
+			if ok[s] || (s == cache.GS && !gs) || (s == cache.GI && !gi) {
+				continue
+			}
+			states = append(states, s)
+		}
+		mark(why, ev, states...)
+	}
+	others(EvDataS, "DataS answers an outstanding GETS (IS_D)", cache.ISD)
+	others(EvDataE, "DataE answers an outstanding GETS (IS_D)", cache.ISD)
+	others(EvDataM, "DataM answers an outstanding GETX or raced UPGRADE (IM_D/SM_A)", cache.IMD, cache.SMA)
+	others(EvDataC2C, "cache-to-cache data answers the outstanding miss (IS_D/IM_D/SM_A)", cache.ISD, cache.IMD, cache.SMA)
+	others(EvUpgAck, "UpgAck answers an outstanding UPGRADE (SM_A)", cache.SMA)
+	others(EvPutAck, "PutAck answers the outstanding eviction PUT (EV_A)", cache.EVA)
+
+	// Every remaining hole must be a disabled approximate state.
+	for si := 0; si < NumL1States; si++ {
+		for ei := 0; ei < NumL1Events; ei++ {
+			s, ev := cache.State(si), Event(ei)
+			k := L1Key{State: s, Event: ev}
+			if t[si][ei] != nil || un[k] != "" {
+				continue
+			}
+			switch {
+			case s == cache.GS && !gs:
+				un[k] = "the protocol never enters GS"
+			case s == cache.GI && !gi:
+				un[k] = "the protocol never enters GI"
+			default:
+				panic("proto: uncovered L1 pair " + L1StateName(s) + "/" + ev.String())
+			}
+		}
+	}
+	return t, un
+}
+
+// dtr builds an unguarded directory rule; dtrg a guarded one. Directory
+// state changes live inside the actions (several run after an asynchronous
+// L2/DRAM fetch), so Next is always DirStay.
+func dtr(actions ...DirAction) DirTransition {
+	return DirTransition{Next: DirStay, Actions: actions}
+}
+
+func dtrg(guards []DirGuard, actions ...DirAction) DirTransition {
+	return DirTransition{Guards: guards, Next: DirStay, Actions: actions}
+}
+
+func dg(guards ...DirGuard) []DirGuard { return guards }
+
+// buildDir assembles the directory table, identical for all shipped
+// protocols: GS copies ride the sharer list and GI copies are invisible,
+// so the directory is plain MESI (with the MSI and migratory-sharing
+// config knobs expressed as guards).
+func buildDir() (DirTable, map[DirKey]string) {
+	var t DirTable
+	row := func(s DirState, ev Event, rules ...DirTransition) {
+		t[s][ev-EvGETS] = rules
+	}
+
+	row(DirInvalid, EvGETS,
+		dtrg(dg(DGNoExclusive), DGrantFreshS),
+		dtr(DGrantFreshE))
+	row(DirShared, EvGETS, dtr(DGrantSharedS))
+	row(DirOwned, EvGETS,
+		dtrg(dg(DGMigratory), DAssertNotOwner, DMigratoryGrant),
+		dtr(DAssertNotOwner, DFwdGETSOwner))
+
+	for _, ev := range []Event{EvGETX, EvUPGRADE} {
+		row(DirInvalid, ev, dtr(DNoteWrite, DGrantFreshM))
+		row(DirShared, ev, dtr(DNoteWrite, DInvAndGrant))
+		row(DirOwned, ev, dtr(DNoteWrite, DAssertNotOwner, DFwdGETXOwner))
+	}
+
+	// PUTs from states that no longer match are stale (the copy was
+	// reclaimed or ownership moved on mid-flight): just acknowledge.
+	staleAck := dtr(DPutAckFinish)
+	dropListed := dtrg(dg(DGFromListed), DDropSharer, DPutAckFinish)
+	row(DirInvalid, EvPUTS, staleAck)
+	row(DirShared, EvPUTS, dropListed, staleAck)
+	row(DirOwned, EvPUTS, staleAck)
+	row(DirInvalid, EvPUTE, staleAck)
+	row(DirShared, EvPUTE, dropListed, staleAck)
+	row(DirOwned, EvPUTE,
+		dtrg(dg(DGOwnerIsFrom), DClearOwner, DPutAckFinish),
+		staleAck)
+	row(DirInvalid, EvPUTM, staleAck)
+	row(DirShared, EvPUTM, dropListed, staleAck) // evictor downgraded mid-eviction; data already via DataToDir
+	row(DirOwned, EvPUTM,
+		dtrg(dg(DGOwnerIsFrom), DWriteback, DClearOwner, DPutAckFinish),
+		staleAck)
+
+	// The directory table is total: every (state, request) pair has a row.
+	return t, map[DirKey]string{}
+}

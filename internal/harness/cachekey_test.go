@@ -112,6 +112,48 @@ func TestCacheKeySpecFieldSensitivity(t *testing.T) {
 	}
 }
 
+// TestCacheKeyProtocol pins the protocol plumbing's compatibility
+// contract. A Spec that names no protocol serializes without the field, so
+// it hashes exactly as it did before protocols were selectable — every
+// pre-existing .gwcache / gwcached entry stays valid and means the legacy
+// rule (d > 0 runs Ghostwriter). Explicitly naming "ghostwriter" builds the
+// same machine but is a distinct cache cell, and each registered table gets
+// its own key space.
+func TestCacheKeyProtocol(t *testing.T) {
+	legacy := specFor("linear_regression", Options{Scale: 1, Threads: 24}, 8, false, ghostwriter.PolicyHybrid)
+	named := legacy
+	named.Protocol = "ghostwriter"
+	if legacy.effective() != named.effective() {
+		t.Fatal("naming \"ghostwriter\" on a d>0 cell changed the effective config")
+	}
+	if legacy.Key() == named.Key() {
+		t.Fatal("the protocol field does not reach the cache key")
+	}
+
+	mesi, nogi := legacy, legacy
+	mesi.Protocol = "mesi"
+	nogi.Protocol = "gw-noGI"
+	keys := map[string]string{legacy.Key(): "legacy", named.Key(): "ghostwriter"}
+	for s, n := range map[string]Spec{"mesi": mesi, "gw-noGI": nogi} {
+		k := n.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s", s, prev)
+		}
+		keys[k] = s
+	}
+	if got := nogi.effective().MachineConfig().Protocol; got != "gw-noGI" {
+		t.Errorf("gw-noGI spec derives machine.Config.Protocol %q", got)
+	}
+	// mesi and ghostwriter resolve through the legacy bool so the derived
+	// machine.Config (and with it the old goldenKeys) stays byte-identical.
+	if got := mesi.effective().MachineConfig().Protocol; got != "" {
+		t.Errorf("mesi spec derives machine.Config.Protocol %q, want empty (legacy bool)", got)
+	}
+	if got := named.effective().MachineConfig().Protocol; got != "" {
+		t.Errorf("ghostwriter spec derives machine.Config.Protocol %q, want empty (legacy bool)", got)
+	}
+}
+
 // TestCacheKeyCodeVersion: bumping codeVersion must invalidate everything.
 func TestCacheKeyCodeVersion(t *testing.T) {
 	spec := specFor("histogram", Options{Scale: 1, Threads: 8}, 0, false, ghostwriter.PolicyHybrid)
@@ -155,6 +197,17 @@ var goldenKeys = []struct {
 			return s
 		},
 		want: "137dc671b0ea65f04ad756559a8cd47c3aec46669ea400fb5bab5b737f0d48eb",
+	},
+	{
+		// A named protocol table: both the spec's protocol field and the
+		// derived machine.Config.Protocol reach the hash.
+		name: "histogram-gw-noGI-t24",
+		spec: func() Spec {
+			s := specFor("histogram", Options{Scale: 1, Threads: 24}, 8, false, ghostwriter.PolicyHybrid)
+			s.Protocol = "gw-noGI"
+			return s
+		},
+		want: "cab5f2a85274a312a2665c365e621f5ea08e746576bcf8c6871f3604bd189247",
 	},
 }
 

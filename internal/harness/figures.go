@@ -320,6 +320,86 @@ func (r *Runner) Extensions(w io.Writer, opt Options) ([]SuiteResult, error) {
 	return out, nil
 }
 
+// protoGridNames are the registered protocol tables the ablation grid
+// compares, in print order: the pure baseline, the full protocol, and the
+// GS-only ablation.
+var protoGridNames = []string{"mesi", "ghostwriter", "gw-noGI"}
+
+// protoGridDist is the d-distance the protocol ablation runs at (the
+// paper's headline d = 8 column).
+const protoGridDist = 8
+
+// ProtocolRow is one (application × protocol) cell of the ablation grid.
+type ProtocolRow struct {
+	App      string  `json:"app"`
+	Protocol string  `json:"protocol"`
+	Cycles   uint64  `json:"cycles"`
+	// TrafficNorm is total coherence messages normalized to the
+	// application's mesi run.
+	TrafficNorm float64 `json:"trafficNorm"`
+	GSPct       float64 `json:"gsPct"`
+	GIPct       float64 `json:"giPct"`
+	ErrorPct    float64 `json:"errorPct"`
+}
+
+// ProtocolGrid compares the registered protocol tables on the Table 2
+// suite at d = 8: baseline mesi (scribbles escalate to stores), the full
+// Ghostwriter protocol, and the GS-only gw-noGI ablation.
+func ProtocolGrid(w io.Writer, opt Options) ([]ProtocolRow, error) {
+	return NewRunner(0).ProtocolGrid(w, opt)
+}
+
+// protoJobs lays out the (application × protocol) ablation grid. Every
+// cell names its protocol explicitly, overriding whatever Options carries.
+func protoJobs(opt Options) []Job {
+	suite := workloads.Suite()
+	jobs := make([]Job, 0, len(suite)*len(protoGridNames))
+	for _, f := range suite {
+		for _, p := range protoGridNames {
+			s := specFor(f.Name, opt, protoGridDist, false, ghostwriter.PolicyHybrid)
+			s.Protocol = p
+			jobs = append(jobs, Job{
+				Label: fmt.Sprintf("protocols %s %s", f.Name, p),
+				Spec:  s,
+			})
+		}
+	}
+	return jobs
+}
+
+// ProtocolGrid is ProtocolGrid on this Runner.
+func (r *Runner) ProtocolGrid(w io.Writer, opt Options) ([]ProtocolRow, error) {
+	suite := workloads.Suite()
+	cells := r.Run(protoJobs(opt))
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Protocol ablation — registered tables at d=%d\n", protoGridDist)
+	fmt.Fprintf(w, "%-18s %-12s %12s %12s %8s %8s %10s\n",
+		"app", "protocol", "cycles", "traffic", "GS", "GI", "error")
+	var out []ProtocolRow
+	for i, f := range suite {
+		base := cells[i*len(protoGridNames)].Result // the mesi column
+		for j, p := range protoGridNames {
+			res := cells[i*len(protoGridNames)+j].Result
+			row := ProtocolRow{
+				App:         f.Name,
+				Protocol:    p,
+				Cycles:      res.Cycles,
+				TrafficNorm: ratio(res.Stats.TotalMsgs(), base.Stats.TotalMsgs()),
+				GSPct:       res.GSFrac() * 100,
+				GIPct:       res.GIFrac() * 100,
+				ErrorPct:    res.ErrorPct,
+			}
+			out = append(out, row)
+			fmt.Fprintf(w, "%-18s %-12s %12d %12.3f %7.1f%% %7.1f%% %9.4f%%\n",
+				row.App, row.Protocol, row.Cycles, row.TrafficNorm,
+				row.GSPct, row.GIPct, row.ErrorPct)
+		}
+	}
+	return out, nil
+}
+
 // TrendPoint is one input-scale measurement of the headline application.
 type TrendPoint struct {
 	Scale        int

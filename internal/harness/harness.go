@@ -27,6 +27,11 @@ type Options struct {
 	Scale int
 	// Threads is the worker-thread count (the paper runs 24, one per core).
 	Threads int
+	// Protocol optionally names the coherence protocol table every cell
+	// runs under ("mesi", "ghostwriter", "gw-noGI"). Empty keeps the
+	// legacy rule: positive d-distances run Ghostwriter, d = 0 runs the
+	// baseline.
+	Protocol string
 }
 
 // DefaultOptions runs the paper's 24-thread configuration at test scale.

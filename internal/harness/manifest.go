@@ -24,6 +24,7 @@ func Manifest(exp string, opt Options) ([]WorkItem, error) {
 		jobs = append(jobs, fig2Jobs(opt)...)
 		jobs = append(jobs, suiteJobs(workloads.Suite(), opt)...)
 		jobs = append(jobs, fig12Jobs(opt)...)
+		jobs = append(jobs, protoJobs(opt)...)
 		jobs = append(jobs, suiteJobs(workloads.Extensions(), opt)...)
 	case "fig1":
 		jobs = fig1Jobs(opt)
@@ -33,6 +34,8 @@ func Manifest(exp string, opt Options) ([]WorkItem, error) {
 		jobs = suiteJobs(workloads.Suite(), opt)
 	case "fig12":
 		jobs = fig12Jobs(opt)
+	case "protocols":
+		jobs = protoJobs(opt)
 	case "ext":
 		jobs = suiteJobs(workloads.Extensions(), opt)
 	case "trend":

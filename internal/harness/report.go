@@ -17,6 +17,8 @@ type Report struct {
 	Fig2    []Fig2Row     `json:"fig2,omitempty"`
 	Suite   []SuiteRecord `json:"suite,omitempty"` // feeds Figs. 7-11
 	Fig12   []Fig12Point  `json:"fig12,omitempty"`
+	// Protocols is the (application × protocol-table) ablation grid.
+	Protocols []ProtocolRow `json:"protocols,omitempty"`
 	// Timing records the sweep's wall clock and per-cell costs. Unlike the
 	// simulation results it is not deterministic — it measures the host.
 	Timing *TimingReport `json:"timing,omitempty"`
@@ -149,6 +151,9 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		rep.Suite = append(rep.Suite, record(s))
 	}
 	if rep.Fig12, err = r.Fig12(io.Discard, opt); err != nil {
+		return nil, err
+	}
+	if rep.Protocols, err = r.ProtocolGrid(io.Discard, opt); err != nil {
 		return nil, err
 	}
 	rep.Timing = &TimingReport{

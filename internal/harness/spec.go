@@ -34,6 +34,12 @@ type Spec struct {
 	DDist int `json:"ddist"`
 	// Profile enables the Fig. 2 store-similarity profiler.
 	Profile bool `json:"profile"`
+	// Protocol optionally names the coherence protocol table ("mesi",
+	// "ghostwriter", "gw-noGI"). Empty keeps the legacy rule — positive
+	// d-distances run Ghostwriter — and is omitted from JSON, so cache
+	// keys minted before protocols were selectable stay valid: an
+	// old-format key (no protocol field) means exactly the legacy rule.
+	Protocol string `json:"protocol,omitempty"`
 	// Config carries the remaining system knobs (policy, GI timeout, MSI,
 	// error bound, ...). Protocol and ProfileSimilarity are derived from
 	// DDist and Profile — see effective.
@@ -43,23 +49,32 @@ type Spec struct {
 // specFor builds the cell for a RunApp-style call.
 func specFor(name string, opt Options, ddist int, profile bool, policy ghostwriter.ScribblePolicy) Spec {
 	return Spec{
-		App:     name,
-		Scale:   opt.Scale,
-		Threads: opt.Threads,
-		DDist:   ddist,
-		Profile: profile,
-		Config:  ghostwriter.Config{Policy: policy},
+		App:      name,
+		Scale:    opt.Scale,
+		Threads:  opt.Threads,
+		DDist:    ddist,
+		Profile:  profile,
+		Protocol: opt.Protocol,
+		Config:   ghostwriter.Config{Policy: policy},
 	}
 }
 
 // effective returns the system configuration the cell actually builds:
-// Config with the profiler flag applied and the protocol forced to
-// Ghostwriter for positive d-distances (a d of 0 keeps Config.Protocol,
-// which defaults to baseline MESI).
+// Config with the profiler flag applied and the protocol resolved. A named
+// Protocol wins; otherwise the legacy rule applies — forced to Ghostwriter
+// for positive d-distances (a d of 0 keeps Config.Protocol, which defaults
+// to baseline MESI). Unknown names are rejected by executeSpec before any
+// simulation; here they fall back to the Config protocol so that Key()
+// stays total.
 func (s Spec) effective() ghostwriter.Config {
 	cfg := s.Config
 	cfg.ProfileSimilarity = s.Profile
-	if s.DDist > 0 {
+	switch {
+	case s.Protocol != "":
+		if p, err := ghostwriter.ParseProtocol(s.Protocol); err == nil {
+			cfg.Protocol = p
+		}
+	case s.DDist > 0:
 		cfg.Protocol = ghostwriter.Ghostwriter
 	}
 	return cfg
@@ -104,6 +119,11 @@ func executeSpec(s Spec) (RunResult, error) {
 	f, err := workloads.Lookup(s.App)
 	if err != nil {
 		return RunResult{}, err
+	}
+	if s.Protocol != "" {
+		if _, err := ghostwriter.ParseProtocol(s.Protocol); err != nil {
+			return RunResult{}, err
+		}
 	}
 	app := f.New(s.Scale)
 	sys := ghostwriter.New(s.effective())

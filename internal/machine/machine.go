@@ -10,6 +10,7 @@ import (
 
 	"ghostwriter/internal/cache"
 	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/coherence/proto"
 	"ghostwriter/internal/dram"
 	"ghostwriter/internal/energy"
 	"ghostwriter/internal/mem"
@@ -37,8 +38,16 @@ type Config struct {
 
 	DRAM dram.Config
 
+	// Protocol names a registered coherence transition table
+	// (internal/coherence/proto): "mesi", "ghostwriter", or "gw-noGI".
+	// Empty selects the legacy mapping from the Ghostwriter bool —
+	// "ghostwriter" when set, "mesi" otherwise — and, being omitted from
+	// JSON, keeps pre-table cache keys valid: an old-format key (no
+	// protocol field) means exactly that legacy rule.
+	Protocol string `json:",omitempty"`
 	// Ghostwriter enables the approximate protocol states; false gives the
 	// baseline MESI directory protocol (the paper's d-distance 0 bars).
+	// Subsumed by Protocol when that is non-empty.
 	Ghostwriter bool
 	// Policy selects how scribbles behave on blocks already in GS/GI
 	// (PolicyResident reproduces the paper's Fig. 3; PolicyEscalate is the
@@ -130,12 +139,27 @@ func New(cfg Config) *Machine {
 		return m.dirNode[int(uint64(a)/uint64(cfg.L1.BlockSize))%len(m.dirNode)]
 	}
 
+	protoName := cfg.Protocol
+	if protoName == "" {
+		if cfg.Ghostwriter {
+			protoName = "ghostwriter"
+		} else {
+			protoName = "mesi"
+		}
+	}
+	prot, ok := proto.Lookup(protoName)
+	if !ok {
+		panic(fmt.Sprintf("machine: unknown protocol %q (registered: %v)",
+			protoName, proto.Names()))
+	}
+
 	dirCfg := coherence.DirConfig{
 		Latency:      cfg.DirLatency,
 		L2Latency:    cfg.L2Latency,
 		BlockSize:    cfg.L1.BlockSize,
 		NoExclusive:  cfg.MSI,
 		MigratoryOpt: cfg.MigratoryOpt,
+		Proto:        prot,
 	}
 	if cfg.L2PerCoreBytes > 0 {
 		dirCfg.CapacityBlocks = cfg.L2PerCoreBytes * cfg.Cores / len(cfg.DirNodes) / cfg.L1.BlockSize
@@ -157,6 +181,7 @@ func New(cfg Config) *Machine {
 		HitLatency:        cfg.L1HitLatency,
 		GITimeout:         cfg.GITimeout,
 		Ghostwriter:       cfg.Ghostwriter,
+		Proto:             prot,
 		Policy:            cfg.Policy,
 		ErrorBound:        cfg.ErrorBound,
 		AdaptiveGITimeout: cfg.AdaptiveGITimeout,
