@@ -3,23 +3,44 @@
 // bounded depth (2–3 cores, 1–3 block addresses, 4–5 op variants), runs
 // each schedule on a fresh two-level testbed (real L1 controllers, real
 // directory, real mesh — the same components the simulator uses), and
-// asserts the protocol invariants at quiescence:
+// asserts the protocol invariants:
 //
 //  1. Single writer: at most one L1 holds a block in M or E.
-//  2. Directory agreement: the sharer list covers every S/GS copy, and the
-//     recorded owner is exactly the M/E holder.
+//  2. Directory agreement: the sharer list covers every S/GS copy and
+//     nothing else (no phantom sharers), the recorded owner is exactly the
+//     M/E holder, and the directory's state record matches its own
+//     owner/sharer bookkeeping.
 //  3. GI invisibility: no GI copy is tracked by the directory.
 //  4. No silent drops: every (state, event) pair reached during the run has
 //     a table entry (holes are recorded via the controllers' OnMissing
 //     hooks and turn into detectable deadlocks instead of panics).
-//  5. Value integrity: every cached word is a value the schedule actually
-//     wrote, and a GS copy's hidden word stays within d-distance of the
-//     block's coherent value (d-distance is XOR-defined, so per-write
-//     similarity composes across a residency without widening).
+//  5. Value integrity: every loaded or cached word is a value the schedule
+//     actually wrote, and a GS copy's hidden word stays within d-distance
+//     of the block's coherent value (d-distance is XOR-defined, so
+//     per-write similarity composes across a residency without widening).
+//  6. Data-value coherence (sequential mode): after each step quiesces, a
+//     precise schedule's coherent word equals the last store and a load
+//     returns it exactly; a mixed schedule's load may diverge from the
+//     coherent word only via a GS copy within d or a GI copy.
+//  7. Liveness: every schedule drains to quiescence within the step budget
+//     (no livelock), no L1 retains a deferred forward at quiescence, and a
+//     protocol panic is reported as a violation rather than crashing the
+//     sweep.
+//  8. Clean exclusivity: an Exclusive copy's word equals the backing L2
+//     line — E is granted fresh and never written (a store moves to M), so
+//     a dirty word in E is a writeback waiting to be silently lost.
+//  9. Residency accounting (sequential mode): a GS/GI copy exists only if
+//     a GS/GI entry was counted, a counted entry installs the copy in the
+//     same step, and a dissimilar (far) scribble is either published
+//     coherently or absorbed by a residency that already existed — entry
+//     into GS/GI always runs the scribe comparator.
 //
 // The state space is (cores × ops × addrs)^depth schedules; the shipped
 // test configurations stay in the tens of thousands, each a sub-millisecond
-// simulation, so the whole sweep fits in a CI smoke job.
+// simulation, so the whole sweep fits in a CI smoke job. Result.Fingerprint
+// digests the architectural outcome of a violation-free sweep; the mutation
+// runner (internal/coherence/mutate) compares it against the golden
+// protocol's to detect behaviourally equivalent mutants.
 package check
 
 import (
@@ -98,11 +119,18 @@ type Config struct {
 	Depth    int        // schedule length
 	DDist    int        // d-distance for scribbles and approximate stores
 	Policy   coherence.ScribblePolicy
+	// Ops restricts the opcode alphabet (nil = all five). A restricted
+	// alphabet buys depth: {Load, Store} over three same-set addresses
+	// exercises evictions at the same schedule count a one-address
+	// five-opcode sweep needs.
+	Ops []Opcode
 	// Sequential quiesces the machine between steps instead of issuing the
 	// moment the issuing core is idle. Concurrent issue explores request
 	// races; sequential issue reaches the states those races outrun at
 	// shallow depth (a scribble after losing a block to a remote store must
-	// wait for the invalidation to land before it can enter GI).
+	// wait for the invalidation to land before it can enter GI), and enables
+	// the per-step data-value audits (each step's outcome is a pure function
+	// of protocol semantics, not race timing).
 	Sequential bool
 	// MaxViolations stops the exploration once this many schedules have
 	// failed (0 = 8). One table bug fails a large fraction of the space;
@@ -110,11 +138,21 @@ type Config struct {
 	MaxViolations int
 }
 
+// ops returns the effective opcode alphabet.
+func (c Config) ops() []Opcode {
+	if len(c.Ops) > 0 {
+		return c.Ops
+	}
+	return []Opcode{Load, Store, StoreApprox, ScribbleNear, ScribbleFar}
+}
+
 // Violation is one failed schedule.
 type Violation struct {
 	Schedule []Step
-	Kind     string // "deadlock", "invariant", or "missing-transition"
-	Detail   string
+	// Kind is "deadlock", "livelock", "invariant", "value",
+	// "missing-transition", or "panic".
+	Kind   string
+	Detail string
 }
 
 func (v Violation) String() string {
@@ -123,13 +161,36 @@ func (v Violation) String() string {
 
 // Result summarizes an exploration. The coverage counters (summed over
 // every schedule) let tests assert the sweep actually reached the
-// approximate states rather than vacuously passing.
+// approximate states rather than vacuously passing. Fingerprint digests the
+// architectural outcome (per-step completion values, final cache and
+// directory states, coherent words) of every violation-free schedule —
+// statistics counters, energy, and replacement metadata are deliberately
+// excluded, so two protocols with identical memory behaviour hash equal.
+// Fingerprints from sequential sweeps are race-free and comparable across
+// protocol variants; concurrent sweeps embed race outcomes, which are
+// timing-sensitive, so only compare them between identical tables.
 type Result struct {
-	Schedules  int
-	Violations []Violation
-	GSEntries  uint64
-	GIEntries  uint64
-	Fallbacks  uint64
+	Schedules   int
+	Violations  []Violation
+	GSEntries   uint64
+	GIEntries   uint64
+	Fallbacks   uint64
+	Fingerprint uint64
+}
+
+// CoverageErr reports an error when the sweep never entered an approximate
+// state the protocol's table defines: a protocol variant that silently
+// stops exercising GS (or GI) passes every invariant vacuously, which is
+// itself a checking failure. Call it on full-alphabet sequential sweeps
+// (concurrent issue at shallow depth legitimately misses GI).
+func CoverageErr(p *proto.Protocol, r Result) error {
+	if p.L1[cache.GS][proto.EvLoad] != nil && r.GSEntries == 0 {
+		return fmt.Errorf("protocol %s defines GS rows but the sweep entered GS zero times", p.Name)
+	}
+	if p.L1[cache.GI][proto.EvLoad] != nil && r.GIEntries == 0 {
+		return fmt.Errorf("protocol %s defines GI rows but the sweep entered GI zero times", p.Name)
+	}
+	return nil
 }
 
 // Explore enumerates every (cores × ops × addrs)^depth schedule and runs
@@ -138,12 +199,13 @@ func Explore(cfg Config) Result {
 	if cfg.MaxViolations == 0 {
 		cfg.MaxViolations = 8
 	}
-	alphabet := cfg.Cores * int(NumOpcodes) * len(cfg.Addrs)
+	ops := cfg.ops()
+	alphabet := cfg.Cores * len(ops) * len(cfg.Addrs)
 	total := 1
 	for i := 0; i < cfg.Depth; i++ {
 		total *= alphabet
 	}
-	res := Result{Schedules: total}
+	res := Result{Schedules: total, Fingerprint: fnvOffset}
 	steps := make([]Step, cfg.Depth)
 	for idx := 0; idx < total; idx++ {
 		n := idx
@@ -152,8 +214,8 @@ func Explore(cfg Config) Result {
 			n /= alphabet
 			steps[i] = Step{
 				Core: k % cfg.Cores,
-				Op:   Opcode((k / cfg.Cores) % int(NumOpcodes)),
-				Addr: k / (cfg.Cores * int(NumOpcodes)),
+				Op:   ops[(k/cfg.Cores)%len(ops)],
+				Addr: k / (cfg.Cores * len(ops)),
 			}
 		}
 		h := newHarness(cfg)
@@ -167,9 +229,40 @@ func Explore(cfg Config) Result {
 			if len(res.Violations) >= cfg.MaxViolations {
 				break
 			}
+		} else {
+			res.Fingerprint = mix(res.Fingerprint, h.fingerprint())
 		}
 	}
 	return res
+}
+
+// RunSchedule runs one explicit schedule on a fresh testbed under cfg and
+// returns its violation, if any. This is the fuzzing entry point: issue
+// orders and depths beyond the exhaustive enumeration come in here.
+func RunSchedule(cfg Config, steps []Step) *Violation {
+	h := newHarness(cfg)
+	if v := h.run(steps); v != nil {
+		v.Schedule = append([]Step(nil), steps...)
+		return v
+	}
+	return nil
+}
+
+// FNV-1a constants; the fingerprint is an order-sensitive fold so that
+// "which schedule produced which outcome" is part of the digest.
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// mix folds one 64-bit value into the digest, byte by byte.
+func mix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
 }
 
 // stepLimit bounds the events fired per wait so a livelocking protocol
@@ -183,28 +276,46 @@ const dirNode = noc.NodeID(5)
 // harness is one fresh testbed: real controllers on a real mesh, plus the
 // checker's write log and missing-transition recorder.
 type harness struct {
-	cfg     Config
-	eng     *sim.Engine
-	dir     *coherence.Directory
-	l1s     []*coherence.L1
-	st      *stats.Stats
-	back    *mem.Memory
-	done    int
-	issued  int
+	cfg    Config
+	eng    *sim.Engine
+	dir    *coherence.Directory
+	l1s    []*coherence.L1
+	st     *stats.Stats
+	back   *mem.Memory
+	done   int
+	issued int
 	// coreBusy mirrors the blocking core model: a core issues its next op
 	// only after its previous op's completion callback has fired (L1.Busy
 	// alone clears one latency-cycle earlier, while the completion event is
 	// still in flight).
 	coreBusy []bool
-	missing []string
+	missing  []string
 	// written logs every value the schedule stored or scribbled per address
 	// index; initial[i] seeds it. Valid cached words must come from here.
 	initial []uint64
 	written [][]uint64
+	// expected tracks the last conventionally stored value per address; in
+	// precise sequential schedules it is the unique coherent value after
+	// every step.
+	expected []uint64
 	// approxStored marks addresses a StoreApprox targeted: GS/GI absorb
 	// approximate conventional stores without the scribe comparator (§3.2),
 	// so the d-distance drift bound does not apply to those addresses.
 	approxStored []bool
+	// stepVals records each step's completion value (the loaded value, or
+	// the stored one) for the per-step audits and the fingerprint.
+	stepVals []uint64
+	// precise marks schedules built only from Load/Store: their outcome is
+	// exactly sequential-consistent, so the audits can demand equality
+	// instead of d-distance bands.
+	precise bool
+	// valueViol records the first in-flight data-value violation (checked in
+	// completion callbacks, reported once the run returns).
+	valueViol *Violation
+	// prevGS/prevGI snapshot the residency-entry counters at the previous
+	// sequential step, so the per-step audit can tie a counted entry to the
+	// copy it must have installed.
+	prevGS, prevGI uint64
 }
 
 func newHarness(cfg Config) *harness {
@@ -248,6 +359,7 @@ func newHarness(cfg Config) *harness {
 		h.back.WriteUint(a, 4, v)
 		h.initial = append(h.initial, v)
 		h.written = append(h.written, []uint64{v})
+		h.expected = append(h.expected, v)
 	}
 	h.approxStored = make([]bool, len(cfg.Addrs))
 	h.coreBusy = make([]bool, cfg.Cores)
@@ -269,6 +381,17 @@ func (h *harness) value(s Step, stepIdx int) uint64 {
 	return base + uint64(stepIdx+1)
 }
 
+// member reports whether w was ever written to address index ai (or is its
+// initial value).
+func (h *harness) member(ai int, w uint64) bool {
+	for _, v := range h.written[ai] {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
 // runUntil fires events until pred holds, the queue drains, or the step
 // limit trips (a livelock in a buggy table).
 func (h *harness) runUntil(pred func() bool) bool {
@@ -283,30 +406,77 @@ func (h *harness) runUntil(pred func() bool) bool {
 	return pred()
 }
 
+// drain fires events until the queue is empty; a queue that will not empty
+// within the step budget is a livelock violation (self-perpetuating
+// messages — nothing in the checker's testbed legitimately self-schedules;
+// the GI sweep is never armed).
+func (h *harness) drain() *Violation {
+	h.runUntil(func() bool { return false })
+	if p := h.eng.Pending(); p > 0 {
+		return &Violation{Kind: "livelock", Detail: fmt.Sprintf(
+			"event queue still holds %d events after %d steps%s", p, stepLimit, h.missingSuffix())}
+	}
+	return nil
+}
+
 // run executes one schedule to quiescence and checks the invariants.
 // The GI sweep is never armed: the checker's event queue must drain so
 // deadlocks are observable, and GI reclamation timing is a timeout policy,
-// not a protocol transition.
-func (h *harness) run(steps []Step) *Violation {
+// not a protocol transition. A panic anywhere in the protocol engine
+// (stray message asserts, nil transitions) is reported as a violation so a
+// mutant table cannot crash the sweep.
+func (h *harness) run(steps []Step) (viol *Violation) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol = &Violation{Kind: "panic", Detail: fmt.Sprint(r)}
+		}
+	}()
+	h.stepVals = make([]uint64, len(steps))
+	h.precise = true
+	for _, s := range steps {
+		if s.Op != Load && s.Op != Store {
+			h.precise = false
+			break
+		}
+	}
 	for i, s := range steps {
 		l1, c := h.l1s[s.Core], s.Core
 		if !h.runUntil(func() bool { return !h.coreBusy[c] && !l1.Busy() }) {
 			return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
 				"core %d never went idle before step %d (%s)%s", s.Core, i, s, h.missingSuffix())}
 		}
+		prior := h.stateOf(s.Core, s.Addr)
 		h.issue(s, i)
-		if h.cfg.Sequential && !h.runUntil(func() bool { return h.done == h.issued }) {
-			return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
-				"step %d (%s) never completed%s", i, s, h.missingSuffix())}
+		if h.cfg.Sequential {
+			if !h.runUntil(func() bool { return h.done == h.issued }) {
+				return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
+					"step %d (%s) never completed%s", i, s, h.missingSuffix())}
+			}
+			// Quiesce fully (trailing writebacks/unblocks), then audit the
+			// step's data-value outcome against the sequential semantics.
+			if v := h.drain(); v != nil {
+				return v
+			}
+			if h.valueViol != nil {
+				return h.valueViol
+			}
+			if v := h.auditStep(s, i, prior); v != nil {
+				return v
+			}
 		}
 	}
 	if !h.runUntil(func() bool { return h.done == h.issued }) {
 		return &Violation{Kind: "deadlock", Detail: fmt.Sprintf(
 			"%d of %d ops never completed%s", h.issued-h.done, h.issued, h.missingSuffix())}
 	}
-	// Drain the trailing acks/unblocks completely (nothing self-reschedules
-	// without the GI sweep), then audit the final state.
-	h.runUntil(func() bool { return false })
+	// Drain the trailing acks/unblocks completely, then audit the final
+	// state.
+	if v := h.drain(); v != nil {
+		return v
+	}
+	if h.valueViol != nil {
+		return h.valueViol
+	}
 	return h.checkQuiescent()
 }
 
@@ -319,7 +489,15 @@ func (h *harness) missingSuffix() string {
 
 func (h *harness) issue(s Step, stepIdx int) {
 	op := &coherence.CoreOp{Addr: h.cfg.Addrs[s.Addr], Width: 4, DDist: -1,
-		Done: func(uint64) { h.done++; h.coreBusy[s.Core] = false }}
+		Done: func(val uint64) {
+			h.done++
+			h.coreBusy[s.Core] = false
+			h.stepVals[stepIdx] = val
+			if s.Op == Load && h.valueViol == nil && !h.member(s.Addr, val) {
+				h.valueViol = &Violation{Kind: "value", Detail: fmt.Sprintf(
+					"step %d (%s): load returned %#x, never written to a%d", stepIdx, s, val, s.Addr)}
+			}
+		}}
 	switch s.Op {
 	case Load:
 		op.Kind = coherence.OpLoad
@@ -336,16 +514,153 @@ func (h *harness) issue(s Step, stepIdx int) {
 	if s.Op != Load {
 		op.Value = h.value(s, stepIdx)
 		h.written[s.Addr] = append(h.written[s.Addr], op.Value)
+		if s.Op == Store {
+			h.expected[s.Addr] = op.Value
+		}
 	}
 	h.issued++
 	h.coreBusy[s.Core] = true
 	h.l1s[s.Core].Access(op)
 }
 
+// stateOf is the core's current cached state for the address index, with
+// Absent standing in for a missing tag.
+func (h *harness) stateOf(core, ai int) cache.State {
+	if b := h.l1s[core].Array().Lookup(h.cfg.Addrs[ai]); b != nil {
+		return b.State
+	}
+	return proto.Absent
+}
+
+// approxCopies scans every core for GS/GI copies of any tracked address.
+func (h *harness) approxCopies() (anyGS, anyGI bool) {
+	for _, l1 := range h.l1s {
+		for _, a := range h.cfg.Addrs {
+			if b := l1.Array().Lookup(a); b != nil {
+				switch b.State {
+				case cache.GS:
+					anyGS = true
+				case cache.GI:
+					anyGI = true
+				}
+			}
+		}
+	}
+	return
+}
+
+// auditStep checks one quiesced sequential step's data-value outcome.
+// Precise schedules (Load/Store only) are sequentially consistent by
+// construction: after every step each address's coherent word must equal
+// its last store, and a load must have returned it exactly — this is the
+// "load returns the last globally-visible store" obligation, and it
+// catches lost writebacks the state audits cannot see. Mixed schedules may
+// hide values in GS (within d of coherent unless a policy exempts it) or
+// GI copies; anything else returning a non-coherent value is a violation.
+// It also ties the residency-entry counters to the machine's structure:
+// a GS/GI copy without a counted entry (or a counted entry that installed
+// no copy) means a table edge is teleporting blocks into or out of the
+// approximate states without the scribe-comparator gate.
+func (h *harness) auditStep(s Step, i int, prior cache.State) *Violation {
+	fail := func(format string, args ...any) *Violation {
+		return &Violation{Kind: "value", Detail: fmt.Sprintf(format, args...)}
+	}
+	failInv := func(format string, args ...any) *Violation {
+		return &Violation{Kind: "invariant", Detail: fmt.Sprintf(format, args...)}
+	}
+	gsDelta, giDelta := h.st.GSEntries-h.prevGS, h.st.GIEntries-h.prevGI
+	h.prevGS, h.prevGI = h.st.GSEntries, h.st.GIEntries
+	anyGS, anyGI := h.approxCopies()
+	switch {
+	case anyGS && h.st.GSEntries == 0:
+		return failInv("after step %d (%s): a GS copy exists but no GS entry was ever counted", i, s)
+	case anyGI && h.st.GIEntries == 0:
+		return failInv("after step %d (%s): a GI copy exists but no GI entry was ever counted", i, s)
+	case gsDelta > 0 && !anyGS:
+		return failInv("step %d (%s) counted a GS entry but installed no GS copy", i, s)
+	case giDelta > 0 && !anyGI:
+		return failInv("step %d (%s) counted a GI entry but installed no GI copy", i, s)
+	}
+	v := h.stepVals[i]
+	if s.Op == ScribbleFar {
+		// A dissimilar scribble fails the scribe comparator, so it may not
+		// *enter* GS/GI: it either escalates to a coherent store or is
+		// absorbed by a residency that already existed (the hybrid policy
+		// skips the comparator on GI-resident blocks, and PolicyResident
+		// skips it on GS).
+		cur := h.stateOf(s.Core, s.Addr)
+		if coh := h.coherentWord(h.cfg.Addrs[s.Addr]); coh != v {
+			switch {
+			case cur == cache.GI && prior == cache.GI:
+			case cur == cache.GS && h.cfg.Policy == coherence.PolicyResident && prior == cache.GS:
+			default:
+				return failInv("step %d (%s): far scribble %#x neither published (coherent %#x) nor absorbed by a pre-existing residency (%v -> %v)",
+					i, s, v, coh, proto.L1StateName(prior), proto.L1StateName(cur))
+			}
+		}
+	}
+	if h.precise {
+		for aj := range h.cfg.Addrs {
+			if coh := h.coherentWord(h.cfg.Addrs[aj]); coh != h.expected[aj] {
+				return fail("after step %d (%s): coherent word of a%d is %#x, want last store %#x",
+					i, s, aj, coh, h.expected[aj])
+			}
+		}
+		if s.Op == Load && v != h.expected[s.Addr] {
+			return fail("step %d (%s): load returned %#x, want last store %#x",
+				i, s, v, h.expected[s.Addr])
+		}
+		return nil
+	}
+	if s.Op == Store {
+		// A conventional store (outside any approximate region) escalates
+		// from every state — including GS/GI residency — so once its step
+		// quiesces it must be the globally visible value.
+		if coh := h.coherentWord(h.cfg.Addrs[s.Addr]); coh != v {
+			return fail("step %d (%s): conventional store of %#x left coherent word %#x",
+				i, s, v, coh)
+		}
+		return nil
+	}
+	if s.Op != Load {
+		return nil
+	}
+	coh := h.coherentWord(h.cfg.Addrs[s.Addr])
+	if v == coh {
+		return nil
+	}
+	b := h.l1s[s.Core].Array().Lookup(h.cfg.Addrs[s.Addr])
+	st := proto.Absent
+	if b != nil {
+		st = b.State
+	}
+	switch st {
+	case cache.GI:
+		return nil // hidden GI value; bounded only by the timeout policy
+	case cache.GS:
+		if h.cfg.Policy == coherence.PolicyResident || h.approxStored[s.Addr] {
+			return nil
+		}
+		if approx.Within(v, coh, 32, h.cfg.DDist) {
+			return nil
+		}
+		return fail("step %d (%s): GS load returned %#x, beyond d=%d of coherent %#x",
+			i, s, v, h.cfg.DDist, coh)
+	}
+	return fail("step %d (%s): load returned %#x but the coherent word is %#x and the copy is %v, not GS/GI",
+		i, s, v, coh, proto.L1StateName(st))
+}
+
 // transient reports whether a state marks an in-flight transaction; none
 // may survive quiescence.
 func transient(s cache.State) bool {
 	return s == cache.ISD || s == cache.IMD || s == cache.SMA || s == cache.EVA
+}
+
+// readable reports whether a state lets the core read the cached word.
+func readable(s cache.State) bool {
+	return s == cache.Shared || s == cache.Exclusive || s == cache.Modified ||
+		s == cache.GS || s == cache.GI
 }
 
 // checkQuiescent audits the drained machine against the invariants.
@@ -362,6 +677,9 @@ func (h *harness) checkQuiescent() *Violation {
 	for c, l1 := range h.l1s {
 		if l1.Busy() {
 			return fail("core %d still busy after the queue drained", c)
+		}
+		if l1.HasDeferredFwd() {
+			return fail("core %d retains a deferred forward at quiescence", c)
 		}
 	}
 	for ai, a := range h.cfg.Addrs {
@@ -381,6 +699,16 @@ func (h *harness) checkQuiescent() *Violation {
 					return fail("a%d has two writable copies (cores %d and %d)", ai, owner, c)
 				}
 				owner = c
+				if b.State == cache.Exclusive {
+					// E is granted fresh from the L2 line and never written
+					// (a store moves the block to M), so a divergent word in
+					// E is dirty data a silent PUTE eviction would lose.
+					w := b.ReadWord(h.l1s[c].Array().Offset(a), 4)
+					if lw := h.backingWord(a); w != lw {
+						return fail("core %d a%d: Exclusive copy %#x diverges from the backing line %#x (dirty data in a clean state)",
+							c, ai, w, lw)
+					}
+				}
 			case cache.Shared, cache.GS:
 				sharers = append(sharers, c)
 				if sharerMask&(1<<uint(c)) == 0 {
@@ -395,8 +723,43 @@ func (h *harness) checkQuiescent() *Violation {
 					return fail("core %d holds a%d in GI yet is the recorded owner", c, ai)
 				}
 			}
+			switch {
+			case b.State == cache.GS && h.st.GSEntries == 0:
+				return fail("core %d holds a%d in GS but no GS entry was ever counted", c, ai)
+			case b.State == cache.GI && h.st.GIEntries == 0:
+				return fail("core %d holds a%d in GI but no GI entry was ever counted", c, ai)
+			}
 			if v := h.checkWord(ai, a, c, b); v != nil {
 				return v
+			}
+		}
+		// Phantom sharers: every core the directory lists must actually
+		// hold a tracked read copy (a list entry for a core that dropped or
+		// upgraded its copy would invalidate a bystander later, or worse,
+		// stall an UPGRADE's ack collection forever).
+		for c := range h.l1s {
+			if sharerMask&(1<<uint(c)) == 0 {
+				continue
+			}
+			b := h.l1s[c].Array().Lookup(a)
+			if b == nil || (b.State != cache.Shared && b.State != cache.GS) {
+				st := "no tag"
+				if b != nil {
+					st = proto.L1StateName(b.State)
+				}
+				return fail("a%d: directory lists core %d as sharer but it holds %s", ai, c, st)
+			}
+		}
+		// Directory self-consistency: the state record must agree with the
+		// line's own owner/sharer bookkeeping.
+		switch h.dir.State(a) {
+		case proto.DirShared:
+			if sharerMask == 0 {
+				return fail("a%d: directory state DS with an empty sharer list", ai)
+			}
+		case proto.DirOwned:
+			if h.dir.Owner(a) < 0 {
+				return fail("a%d: directory state DM without a recorded owner", ai)
 			}
 		}
 		if owner >= 0 {
@@ -422,7 +785,15 @@ func (h *harness) coherentWord(a mem.Addr) uint64 {
 			return b.ReadWord(l1.Array().Offset(a), 4)
 		}
 	}
-	if data, ok := h.dir.Peek(a); ok {
+	return h.backingWord(a)
+}
+
+// backingWord is the L2 line's word (or backing memory when the L2 never
+// cached the block). It reads the raw line even while the block is owned:
+// a PUTM writeback lands in the L2 line, not backing DRAM, and a later
+// Exclusive grant is filled from that line.
+func (h *harness) backingWord(a mem.Addr) uint64 {
+	if data, ok := h.dir.LineData(a); ok {
 		return mem.DecodeUint(data[:4])
 	}
 	return h.back.ReadUint(a, 4)
@@ -433,20 +804,11 @@ func (h *harness) coherentWord(a mem.Addr) uint64 {
 // word, and a GS copy (whose residency re-runs the comparator under the
 // hybrid and escalate policies) must stay within d-distance of it.
 func (h *harness) checkWord(ai int, a mem.Addr, c int, b *cache.Block) *Violation {
-	readable := b.State == cache.Shared || b.State == cache.Exclusive ||
-		b.State == cache.Modified || b.State == cache.GS || b.State == cache.GI
-	if !readable {
+	if !readable(b.State) {
 		return nil
 	}
 	w := b.ReadWord(h.l1s[c].Array().Offset(a), 4)
-	member := false
-	for _, v := range h.written[ai] {
-		if v == w {
-			member = true
-			break
-		}
-	}
-	if !member {
+	if !h.member(ai, w) {
 		return &Violation{Kind: "invariant", Detail: fmt.Sprintf(
 			"core %d a%d (%v): word %#x was never written to this address", c, ai, b.State, w)}
 	}
@@ -470,4 +832,44 @@ func (h *harness) checkWord(ai int, a mem.Addr, c int, b *cache.Block) *Violatio
 		}
 	}
 	return nil
+}
+
+// fingerprint digests one violation-free schedule's architectural outcome:
+// every step's completion value plus, per address, the coherent word, the
+// directory record, and each core's cached state and word. Statistics,
+// energy, replacement order, and the hidden-write counter are excluded on
+// purpose: mutating those must classify as equivalent. Exclusive and
+// Modified hash to the same token: the dirty bit is a writeback-avoidance
+// optimization, not architecture (invariant 8 pins the dangerous direction
+// — dirty data in E — directly), so conservatively dirtying a clean
+// exclusive copy is equivalent, too.
+func (h *harness) fingerprint() uint64 {
+	f := fnvOffset
+	for i, v := range h.stepVals {
+		f = mix(f, uint64(i))
+		f = mix(f, v)
+	}
+	for ai, a := range h.cfg.Addrs {
+		f = mix(f, uint64(ai))
+		f = mix(f, h.coherentWord(a))
+		f = mix(f, uint64(h.dir.State(a)))
+		f = mix(f, uint64(h.dir.Owner(a)+1))
+		f = mix(f, uint64(h.dir.Sharers(a)))
+		for _, l1 := range h.l1s {
+			b := l1.Array().Lookup(a)
+			if b == nil {
+				f = mix(f, 0)
+				continue
+			}
+			st := b.State
+			if st == cache.Exclusive {
+				st = cache.Modified
+			}
+			f = mix(f, 1+uint64(st))
+			if readable(b.State) {
+				f = mix(f, b.ReadWord(l1.Array().Offset(a), 4))
+			}
+		}
+	}
+	return f
 }

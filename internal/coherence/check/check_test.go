@@ -61,6 +61,11 @@ func TestRegisteredProtocols(t *testing.T) {
 			if got := res.GIEntries > 0; got != tc.wantGI {
 				t.Errorf("GI entries = %d, want >0: %v", res.GIEntries, tc.wantGI)
 			}
+			// Hard coverage gate: a sweep that never reaches a defined
+			// approximate state checks nothing about it.
+			if err := CoverageErr(cfg.Protocol, res); err != nil {
+				t.Error(err)
+			}
 		})
 	}
 }
@@ -178,5 +183,208 @@ func TestSeededDirBugDetected(t *testing.T) {
 	}
 	if !violationsMention(res, "DS/UPGRADE") {
 		t.Errorf("no violation names the dropped DS/UPGRADE pair:\n%s", res.Violations[0])
+	}
+}
+
+// seqCfg is the explicit-schedule config the seeded-bug demonstrations
+// share: one protocol clone, sequential issue, eviction-capable address set.
+func seqCfg(p *proto.Protocol, cores int) Config {
+	return Config{
+		Protocol:   p,
+		Cores:      cores,
+		Addrs:      sameSet,
+		Depth:      5,
+		DDist:      8,
+		Policy:     coherence.PolicyHybrid,
+		Sequential: true,
+	}
+}
+
+// wantViolation runs one schedule and asserts it fails with the given kind
+// and a detail mentioning substr.
+func wantViolation(t *testing.T, cfg Config, steps []Step, kind, substr string) {
+	t.Helper()
+	v := RunSchedule(cfg, steps)
+	if v == nil {
+		t.Fatalf("schedule [%s] passed; want a %q violation mentioning %q",
+			formatSchedule(steps), kind, substr)
+	}
+	if v.Kind != kind || !strings.Contains(v.Detail, substr) {
+		t.Fatalf("schedule [%s] failed as [%s] %s; want kind %q mentioning %q",
+			formatSchedule(steps), v.Kind, v.Detail, kind, substr)
+	}
+}
+
+// TestSeededBugWrongCompletionValue rewires the (E, Load) hit to complete
+// through the write path's value register (stale zero) instead of the
+// cached word. The cache contents, the states, and the directory are all
+// untouched — the pre-existing invariants only audited what is *in* the
+// caches at quiescence, never what a load *returned* — so only the in-run
+// load-value membership check (new invariant: data-value coherence)
+// catches it.
+func TestSeededBugWrongCompletionValue(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Exclusive][proto.EvLoad][0].Actions =
+		[]proto.Action{proto.ACountLoadHit, proto.AMeterRead, proto.ATouch, proto.ACompleteWrite}
+	wantViolation(t, seqCfg(bug, 1),
+		[]Step{
+			{Core: 0, Op: Load, Addr: 0}, // miss: a0 granted Exclusive
+			{Core: 0, Op: Load, Addr: 0}, // hit: completes with actVal (0)
+		},
+		"value", "never written")
+}
+
+// TestSeededBugLostWriteback keeps (E, Store) in Exclusive instead of moving
+// to Modified: the write lands in the cache but the eviction later sends a
+// dataless PUTE, silently dropping it. At quiescence every state and every
+// surviving copy is consistent — the stale value in L2 is a legitimate
+// member of the write log — so only the precise-sequential linearity audit
+// (new invariant: the coherent word must equal the last store) catches the
+// lost write, at the eviction step.
+func TestSeededBugLostWriteback(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Exclusive][proto.EvStore][0].Next = proto.Stay
+	wantViolation(t, seqCfg(bug, 1),
+		[]Step{
+			{Core: 0, Op: Load, Addr: 0},  // a0 granted Exclusive
+			{Core: 0, Op: Store, Addr: 0}, // mutant: writes but stays E (clean)
+			{Core: 0, Op: Load, Addr: 1},  // fill the set's second way
+			{Core: 0, Op: Load, Addr: 2},  // evict a0 via dataless PUTE
+		},
+		"value", "want last store")
+}
+
+// TestSeededBugStuckDeferredForward makes (M, FwdGETS) both serve and
+// retain the forward: the requestor is answered, the directory's
+// transaction completes, the machine quiesces — but the owner's deferred
+// slot holds the message forever, poisoning the next rule that touches it.
+// The pre-existing invariants audit only states and words, so this leak was
+// invisible; the no-stuck-pending check (new invariant: liveness) fails it.
+func TestSeededBugStuckDeferredForward(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Modified][proto.EvFwdGETS][0].Actions =
+		[]proto.Action{proto.AServeFwd, proto.ADeferFwd}
+	wantViolation(t, seqCfg(bug, 2),
+		[]Step{
+			{Core: 0, Op: Store, Addr: 0}, // c0 owns a0 in M
+			{Core: 1, Op: Load, Addr: 0},  // FwdGETS to c0: serves AND retains
+		},
+		"invariant", "deferred forward")
+}
+
+// TestSeededBugPhantomSharer drops the (DS, PUTS) drop-sharer rule: the
+// eviction is acknowledged but the evictor stays on the sharer list. The
+// pre-existing agreement invariant only checked one direction (every S/GS
+// copy is listed), so a list entry with no copy behind it passed; the
+// phantom-sharer check (new invariant: directory/cache state agreement)
+// fails it.
+func TestSeededBugPhantomSharer(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	rules := bug.Dir.Rules(proto.DirShared, proto.EvPUTS)
+	bug.Dir[proto.DirShared][proto.EvPUTS-proto.EvGETS] = rules[1:] // keep only the stale-ack rule
+	wantViolation(t, seqCfg(bug, 2),
+		[]Step{
+			{Core: 0, Op: Load, Addr: 0}, // c0: a0 Exclusive
+			{Core: 1, Op: Load, Addr: 0}, // downgrade: both Shared, both listed
+			{Core: 0, Op: Load, Addr: 1}, // fill c0's second way
+			{Core: 0, Op: Load, Addr: 2}, // evict a0: PUTS acked, bit kept
+		},
+		"invariant", "as sharer")
+}
+
+// TestSeededBugDirtyExclusive relabels the (M, Load) hit back to Exclusive:
+// the dirty word stays in the cache under a clean-state label, so the
+// eventual eviction sends a dataless PUTE and the write is lost — but only
+// *after* the schedule ends, so every value audit inside the run passes.
+// The clean-exclusivity check (new invariant: an E copy must match the
+// line it was granted from) catches the latent loss at quiescence.
+func TestSeededBugDirtyExclusive(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Modified][proto.EvLoad][0].Next = cache.Exclusive
+	wantViolation(t, seqCfg(bug, 1),
+		[]Step{
+			{Core: 0, Op: Store, Addr: 0}, // a0 Modified, word dirty
+			{Core: 0, Op: Load, Addr: 0},  // mutant hit: relabelled Exclusive
+		},
+		"invariant", "dirty data in a clean state")
+}
+
+// TestSeededBugUncountedResidency teleports a Shared hit into GS: the
+// block acquires an approximate residency without ever passing the
+// scribe-comparator entry path, so no GS entry is counted. States, words,
+// and the sharer list all stay consistent — only the counter/structure
+// agreement check (new invariant: residency accounting) notices the copy
+// that no entry accounts for.
+func TestSeededBugUncountedResidency(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Shared][proto.EvLoad][0].Next = cache.GS
+	wantViolation(t, seqCfg(bug, 2),
+		[]Step{
+			{Core: 0, Op: Load, Addr: 0}, // c0: a0 Exclusive
+			{Core: 1, Op: Load, Addr: 0}, // downgrade: both Shared
+			{Core: 0, Op: Load, Addr: 0}, // mutant hit: Shared -> GS, uncounted
+		},
+		"invariant", "no GS entry was ever counted")
+}
+
+// TestSeededBugUnguardedEntry deletes the GWithin guard from the
+// (I, Scribble) entry rule: every scribble — however far from the resident
+// value — is silently absorbed into GI. The hidden value is a legitimate
+// GI divergence to the state and word audits, so the old checker passed;
+// the entry audit (new invariant: entering a residency always runs the
+// comparator) rejects a far scribble that neither published nor landed on
+// a pre-existing residency.
+func TestSeededBugUnguardedEntry(t *testing.T) {
+	bug := proto.MustLookup("ghostwriter").Clone()
+	bug.L1[cache.Invalid][proto.EvScribble][0].Guards = nil
+	wantViolation(t, seqCfg(bug, 2),
+		[]Step{
+			{Core: 0, Op: Load, Addr: 0},        // c0: a0 Exclusive
+			{Core: 1, Op: Store, Addr: 0},       // c1 takes M; c0's copy -> Invalid
+			{Core: 0, Op: ScribbleFar, Addr: 0}, // absorbed into GI unchecked
+		},
+		"invariant", "neither published")
+}
+
+// TestFingerprintDeterministic pins the classification oracle: the same
+// sweep twice hashes identically, and protocols with different memory
+// behaviour (mesi escalates every scribble; ghostwriter hides them) hash
+// differently.
+func TestFingerprintDeterministic(t *testing.T) {
+	cfg := Config{
+		Protocol:   proto.MustLookup("ghostwriter"),
+		Cores:      2,
+		Addrs:      []mem.Addr{0x000},
+		Depth:      3,
+		DDist:      8,
+		Policy:     coherence.PolicyHybrid,
+		Sequential: true,
+	}
+	a, b := Explore(cfg), Explore(cfg)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint not deterministic: %#x vs %#x", a.Fingerprint, b.Fingerprint)
+	}
+	cfg.Protocol = proto.MustLookup("mesi")
+	if c := Explore(cfg); c.Fingerprint == a.Fingerprint {
+		t.Fatal("mesi and ghostwriter hash identically; the oracle cannot separate protocols")
+	}
+}
+
+// TestOpsRestriction checks the alphabet restriction: a Load/Store-only
+// sweep must issue no scribbles (fallback and GS counters stay zero).
+func TestOpsRestriction(t *testing.T) {
+	res := explore(t, Config{
+		Protocol:   proto.MustLookup("ghostwriter"),
+		Cores:      2,
+		Addrs:      sameSet,
+		Depth:      3,
+		DDist:      8,
+		Policy:     coherence.PolicyHybrid,
+		Ops:        []Opcode{Load, Store},
+		Sequential: true,
+	})
+	if res.GSEntries != 0 || res.GIEntries != 0 || res.Fallbacks != 0 {
+		t.Fatalf("precise sweep touched approximate states: GS=%d GI=%d fb=%d",
+			res.GSEntries, res.GIEntries, res.Fallbacks)
 	}
 }

@@ -240,6 +240,18 @@ func (d *Directory) Peek(a mem.Addr) (data []byte, ok bool) {
 	return e.data, true
 }
 
+// LineData returns the raw L2 line for a block, if the bank holds one —
+// even while the block is owned, when the line may be stale relative to
+// the owner's copy. The model checker uses it to audit that a clean
+// Exclusive grant still matches the line it was filled from.
+func (d *Directory) LineData(a mem.Addr) (data []byte, ok bool) {
+	e := d.lines.get(a)
+	if e == nil || !e.hasData {
+		return nil, false
+	}
+	return e.data, true
+}
+
 // Owner returns the owning L1 id for a block, or -1.
 func (d *Directory) Owner(a mem.Addr) int {
 	if e := d.lines.get(a); e != nil && e.state == dirOwned {
@@ -254,6 +266,17 @@ func (d *Directory) Sharers(a mem.Addr) uint32 {
 		return e.sharers
 	}
 	return 0
+}
+
+// State returns the directory's raw state for a block (DirInvalid for a
+// never-touched line). Unlike Owner/Sharers it does not filter by state, so
+// the model checker can cross-check the state record against the
+// owner/sharer bookkeeping.
+func (d *Directory) State(a mem.Addr) proto.DirState {
+	if e := d.lines.get(a); e != nil {
+		return e.state
+	}
+	return proto.DirInvalid
 }
 
 // Quiesced reports whether no transaction is in flight at this directory.
@@ -360,6 +383,16 @@ func (d *Directory) dispatch(e *dirLine, m *Msg) {
 			if !d.evalGuard(g, e, m) {
 				ok = false
 				break
+			}
+		}
+		// NegGuards (a mutation hook, empty in the shipped tables) must all
+		// evaluate false.
+		for _, g := range t.NegGuards {
+			if !ok {
+				break
+			}
+			if d.evalGuard(g, e, m) {
+				ok = false
 			}
 		}
 		if !ok {
@@ -659,7 +692,6 @@ func (d *Directory) replyData(l1 int, t MsgType, e *dirLine, a mem.Addr) {
 
 func bit(id int) uint32 { return 1 << uint(id) }
 
-
 // noteWrite feeds the migratory detector on a write-permission request: a
 // write by the core that opened the current read generation extends the
 // migratory streak; two streaks classify the block. A write by a different
@@ -680,8 +712,6 @@ func (d *Directory) noteWrite(e *dirLine, writer int) {
 		e.migratory = false
 	}
 }
-
-
 
 func (d *Directory) handleInvAck(e *dirLine, m *Msg) {
 	if !e.busy || e.pendingAck <= 0 {

@@ -256,6 +256,11 @@ func (l *L1) ID() int { return l.id }
 // Busy reports whether a core operation is outstanding.
 func (l *L1) Busy() bool { return l.cur != nil || l.evActive }
 
+// HasDeferredFwd reports whether the controller is retaining a deferred
+// forward (one it must serve once its in-flight fill arrives). At
+// quiescence this must be false; the model checker asserts it.
+func (l *L1) HasDeferredFwd() bool { return l.pendingFwd != nil }
+
 // giSweep implements the periodic GI timeout: every GITimeout cycles all GI
 // blocks revert to I, forfeiting their hidden updates (§3.2). The tag and
 // the (now once again merely stale) data stay in the frame.
@@ -330,7 +335,7 @@ func (l *L1) dispatch(ev proto.Event, b *cache.Block) {
 	rules := l.proto.L1[s][ev]
 	for i := range rules {
 		t := &rules[i]
-		if !l.guardsPass(t.Guards, b) {
+		if !l.ruleFires(t, b) {
 			continue
 		}
 		if t.Next != proto.Stay {
@@ -348,12 +353,18 @@ func (l *L1) dispatch(ev proto.Event, b *cache.Block) {
 	panic(fmt.Sprintf("l1 %d: no %v transition in state %v", l.id, ev, proto.L1StateName(s)))
 }
 
-// guardsPass evaluates a rule's guards in order, short-circuiting — guard
+// ruleFires evaluates a rule's guards in order, short-circuiting — guard
 // side effects (comparator energy, the drift monitor's count) happen
-// exactly when the guard is reached.
-func (l *L1) guardsPass(guards []proto.Guard, b *cache.Block) bool {
-	for _, g := range guards {
+// exactly when the guard is reached. NegGuards (a mutation hook, empty in
+// the shipped tables) must all evaluate false.
+func (l *L1) ruleFires(t *proto.Transition, b *cache.Block) bool {
+	for _, g := range t.Guards {
 		if !l.evalGuard(g, b) {
+			return false
+		}
+	}
+	for _, g := range t.NegGuards {
+		if l.evalGuard(g, b) {
 			return false
 		}
 	}

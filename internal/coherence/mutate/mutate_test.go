@@ -1,0 +1,148 @@
+package mutate
+
+import (
+	"testing"
+
+	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence/proto"
+)
+
+// TestEnumerateDeterministic: the factory must be a pure function of the
+// table — the runner's outcome indexing, the fuzzer's corpus, and the CI
+// report all assume a stable order.
+func TestEnumerateDeterministic(t *testing.T) {
+	p := proto.MustLookup("ghostwriter")
+	a, b := Enumerate(p), Enumerate(p)
+	if len(a) != len(b) {
+		t.Fatalf("enumeration size changed between calls: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enumeration order changed at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) < 200 {
+		t.Fatalf("suspiciously small mutation space for ghostwriter: %d", len(a))
+	}
+}
+
+// TestApplyIsolated: applying a mutation must leave the registered protocol
+// untouched (Clone depth) and produce a structurally valid mutant.
+func TestApplyIsolated(t *testing.T) {
+	for _, name := range proto.Names() {
+		p := proto.MustLookup(name)
+		before := Enumerate(p)
+		for _, m := range before {
+			mut, ok := m.Apply(p)
+			if !ok {
+				t.Fatalf("%s: enumerated mutation not applicable: %+v (%s)", name, m, m.Describe(p))
+			}
+			if err := Validate(mut); err != nil {
+				t.Fatalf("%s: mutant %s structurally invalid: %v", name, m.Describe(p), err)
+			}
+		}
+		after := Enumerate(p)
+		if len(after) != len(before) {
+			t.Fatalf("%s: applying mutants changed the registered table (%d -> %d mutations)",
+				name, len(before), len(after))
+		}
+	}
+}
+
+// TestMutantsDiffer: every enumerated mutant must actually change the
+// table — a factory bug that clones without perturbing would classify as
+// equivalent and silently hollow out the whole matrix. The rendered tables
+// are a convenient canonical form to compare.
+func TestMutantsDiffer(t *testing.T) {
+	for _, name := range proto.Names() {
+		p := proto.MustLookup(name)
+		golden := proto.Markdown(p)
+		for _, m := range Enumerate(p) {
+			mut, ok := m.Apply(p)
+			if !ok {
+				t.Fatalf("%s: enumerated mutation not applicable: %s", name, m.Describe(p))
+			}
+			if proto.Markdown(mut) == golden {
+				t.Errorf("%s: mutant %s renders identically to the original table", name, m.Describe(p))
+			}
+		}
+	}
+}
+
+// TestApplyRejectsInvalid: out-of-range coordinates must be refused, not
+// trusted — the fuzzer routes arbitrary bytes through Apply.
+func TestApplyRejectsInvalid(t *testing.T) {
+	p := proto.MustLookup("ghostwriter")
+	bad := []Mutation{
+		{Op: OpDropRow, S: -1},
+		{Op: OpDropRow, S: proto.NumL1States, E: 0},
+		{Op: OpSwapNext, S: int(cache.Invalid), E: int(proto.EvLoad), R: 99},
+		{Op: OpSwapNext, S: int(proto.Absent), E: int(proto.EvInv), R: 0, Arg: int(cache.Modified)},
+		{Op: OpDelAction, S: int(cache.Invalid), E: int(proto.EvLoad), R: 0, I: 99},
+		{Op: OpCorruptSharer, S: int(cache.Invalid), E: int(proto.EvLoad), R: 0}, // L1 side
+		{Op: OpDropRow, Dir: true, S: 7, E: 0},
+		{Op: OpDelGuard, Dir: true, S: 0, E: 0, R: 0, I: 42},
+	}
+	for _, m := range bad {
+		if _, ok := m.Apply(p); ok {
+			t.Errorf("Apply accepted invalid mutation %+v", m)
+		}
+	}
+}
+
+// TestDecodeAppliesCleanly: every decodable chunk either applies or is
+// rejected without panicking, and applied mutants stay structurally valid.
+func TestDecodeAppliesCleanly(t *testing.T) {
+	p := proto.MustLookup("ghostwriter")
+	data := make([]byte, 0, 7*64)
+	for i := 0; i < 7*64; i++ {
+		data = append(data, byte(i*37+11))
+	}
+	applied := 0
+	for _, m := range Decode(data) {
+		mut, ok := m.Apply(p)
+		if !ok {
+			continue
+		}
+		applied++
+		if err := Validate(mut); err != nil {
+			t.Fatalf("decoded mutant %s invalid: %v", m.Describe(p), err)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no decoded mutation applied; the byte interpreter is miscalibrated")
+	}
+}
+
+// TestMutationMatrix is the tentpole gate: every non-equivalent mutant of
+// every registered protocol must be killed by the checker grid. A survivor
+// is a checker gap — fix the checker (or, if the mutant is genuinely
+// sound-but-different, the classification), never this test.
+func TestMutationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation matrix is minutes of CPU; run without -short (CI runs it via gwcheck -mutate)")
+	}
+	for _, name := range proto.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(proto.MustLookup(name), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("\n%s", rep.Matrix())
+			killed, _, survived, skipped := rep.Counts()
+			if survived > 0 {
+				for _, o := range rep.Survivors() {
+					t.Errorf("survivor: %s", o.Desc)
+				}
+			}
+			if skipped > 0 {
+				t.Errorf("%d mutants skipped without a budget", skipped)
+			}
+			if killed == 0 {
+				t.Error("no mutant killed; the grid is not running")
+			}
+		})
+	}
+}

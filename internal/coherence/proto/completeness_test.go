@@ -101,6 +101,11 @@ func TestTableStructure(t *testing.T) {
 							t.Errorf("%s rule %d: guard %d out of range", at(), ri, g)
 						}
 					}
+					for _, g := range r.NegGuards {
+						if g >= NumGuards {
+							t.Errorf("%s rule %d: neg-guard %d out of range", at(), ri, g)
+						}
+					}
 					if len(r.Actions) == 0 {
 						t.Errorf("%s rule %d: no actions", at(), ri)
 					}
@@ -130,6 +135,11 @@ func TestTableStructure(t *testing.T) {
 					for _, g := range r.Guards {
 						if g >= NumDirGuards {
 							t.Errorf("%s rule %d: guard %d out of range", at(), ri, g)
+						}
+					}
+					for _, g := range r.NegGuards {
+						if g >= NumDirGuards {
+							t.Errorf("%s rule %d: neg-guard %d out of range", at(), ri, g)
 						}
 					}
 					if len(r.Actions) == 0 {

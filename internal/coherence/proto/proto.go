@@ -333,12 +333,17 @@ func (a Action) String() string {
 }
 
 // Transition is one guarded L1 table rule. Within a (state, event) entry
-// rules are tried in order; the first whose guards all pass fires. Next is
-// applied before the actions run (Stay keeps the state).
+// rules are tried in order; the first whose guards all pass — and whose
+// NegGuards all fail — fires. Next is applied before the actions run (Stay
+// keeps the state).
 type Transition struct {
-	Guards  []Guard
-	Next    cache.State
-	Actions []Action
+	Guards []Guard
+	// NegGuards are guards that must evaluate false for the rule to fire.
+	// The shipped tables leave this empty; it exists as a mutation hook so
+	// internal/coherence/mutate can express guard negation as data.
+	NegGuards []Guard
+	Next      cache.State
+	Actions   []Action
 }
 
 // L1Table is the L1 transition relation, indexed [state][event]. A nil
@@ -490,9 +495,12 @@ func (a DirAction) String() string {
 
 // DirTransition is one guarded directory table rule.
 type DirTransition struct {
-	Guards  []DirGuard
-	Next    DirState
-	Actions []DirAction
+	Guards []DirGuard
+	// NegGuards are guards that must evaluate false for the rule to fire
+	// (mutation hook; empty in the shipped tables).
+	NegGuards []DirGuard
+	Next      DirState
+	Actions   []DirAction
 }
 
 // DirTable is the directory transition relation, indexed
@@ -568,9 +576,10 @@ func cloneRules(rules []Transition) []Transition {
 	out := make([]Transition, len(rules))
 	for i, r := range rules {
 		out[i] = Transition{
-			Guards:  append([]Guard(nil), r.Guards...),
-			Next:    r.Next,
-			Actions: append([]Action(nil), r.Actions...),
+			Guards:    append([]Guard(nil), r.Guards...),
+			NegGuards: append([]Guard(nil), r.NegGuards...),
+			Next:      r.Next,
+			Actions:   append([]Action(nil), r.Actions...),
 		}
 	}
 	return out
@@ -583,9 +592,10 @@ func cloneDirRules(rules []DirTransition) []DirTransition {
 	out := make([]DirTransition, len(rules))
 	for i, r := range rules {
 		out[i] = DirTransition{
-			Guards:  append([]DirGuard(nil), r.Guards...),
-			Next:    r.Next,
-			Actions: append([]DirAction(nil), r.Actions...),
+			Guards:    append([]DirGuard(nil), r.Guards...),
+			NegGuards: append([]DirGuard(nil), r.NegGuards...),
+			Next:      r.Next,
+			Actions:   append([]DirAction(nil), r.Actions...),
 		}
 	}
 	return out

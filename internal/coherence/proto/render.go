@@ -26,34 +26,41 @@ func Markdown(p *Protocol) string {
 					next = L1StateName(r.Next)
 				}
 				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
-					L1StateName(s), ev, guardList(r.Guards), next, actionList(r.Actions))
+					L1StateName(s), ev, guardList(r.Guards, r.NegGuards), next, actionList(r.Actions))
 			}
 		}
 	}
 	fmt.Fprintf(&b, "\n%d unreachable (state, event) pairs allowlisted with reasons.\n", len(p.L1Unreachable))
 
 	fmt.Fprintf(&b, "\n### Protocol `%s` — directory table\n\n", p.Name)
-	b.WriteString("| State | Request | Guards | Actions |\n")
-	b.WriteString("|---|---|---|---|\n")
+	b.WriteString("| State | Request | Guards | Next | Actions |\n")
+	b.WriteString("|---|---|---|---|---|\n")
 	for si := 0; si < int(NumDirStates); si++ {
 		for ev := EvGETS; ev < NumEvents; ev++ {
 			s := DirState(si)
 			for _, r := range p.Dir.Rules(s, ev) {
-				fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
-					s, ev, dirGuardList(r.Guards), dirActionList(r.Actions))
+				next := "·"
+				if r.Next != DirStay {
+					next = r.Next.String()
+				}
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+					s, ev, dirGuardList(r.Guards, r.NegGuards), next, dirActionList(r.Actions))
 			}
 		}
 	}
 	return b.String()
 }
 
-func guardList(gs []Guard) string {
-	if len(gs) == 0 {
+func guardList(gs, neg []Guard) string {
+	if len(gs) == 0 && len(neg) == 0 {
 		return "—"
 	}
-	parts := make([]string, len(gs))
-	for i, g := range gs {
-		parts[i] = g.String()
+	parts := make([]string, 0, len(gs)+len(neg))
+	for _, g := range gs {
+		parts = append(parts, g.String())
+	}
+	for _, g := range neg {
+		parts = append(parts, "¬"+g.String())
 	}
 	return strings.Join(parts, " ∧ ")
 }
@@ -66,13 +73,16 @@ func actionList(as []Action) string {
 	return strings.Join(parts, ", ")
 }
 
-func dirGuardList(gs []DirGuard) string {
-	if len(gs) == 0 {
+func dirGuardList(gs, neg []DirGuard) string {
+	if len(gs) == 0 && len(neg) == 0 {
 		return "—"
 	}
-	parts := make([]string, len(gs))
-	for i, g := range gs {
-		parts[i] = g.String()
+	parts := make([]string, 0, len(gs)+len(neg))
+	for _, g := range gs {
+		parts = append(parts, g.String())
+	}
+	for _, g := range neg {
+		parts = append(parts, "¬"+g.String())
 	}
 	return strings.Join(parts, " ∧ ")
 }

@@ -1,0 +1,48 @@
+package proto
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table renderings")
+
+// TestMarkdownGolden pins the rendered protocol tables byte-for-byte
+// against committed goldens: the rendering is documentation (`ghostwriter
+// -tables`, DESIGN.md §4.2) and the mutation factory's no-op oracle
+// (TestMutantsDiffer), so silent drift in either the tables or the
+// renderer must show up as a reviewable diff. Regenerate with
+// `go test ./internal/coherence/proto/ -run TestMarkdownGolden -update`.
+func TestMarkdownGolden(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			got := Markdown(MustLookup(name))
+			path := filepath.Join("testdata", name+".md")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden)", err)
+			}
+			if got == string(want) {
+				return
+			}
+			gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+			for i := 0; i < len(gl) && i < len(wl); i++ {
+				if gl[i] != wl[i] {
+					t.Fatalf("rendering drifted from %s at line %d:\n got: %s\nwant: %s\n(-update regenerates)",
+						path, i+1, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("rendering drifted from %s: %d lines vs %d (-update regenerates)",
+				path, len(gl), len(wl))
+		})
+	}
+}

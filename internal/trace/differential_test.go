@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	ghostwriter "ghostwriter"
+	"ghostwriter/internal/mem"
+)
+
+// shape is one generator configuration the differential and round-trip
+// suites share: mk builds the trace rooted at base, size is the padded
+// allocation its footprint needs.
+type shape struct {
+	name string
+	size int
+	mk   func(base mem.Addr) *Trace
+}
+
+// randomDisjoint builds a Random-generator trace where each thread works a
+// private span: per-word single-writer, so the final image is race-free.
+func randomDisjoint(base mem.Addr, threads, rounds, span int, ddist int, scribble bool) *Trace {
+	t := &Trace{}
+	for id := 0; id < threads; id++ {
+		sub := Random(PatternConfig{
+			Threads: 1, Rounds: rounds, Base: base + mem.Addr(id*span),
+			DDist: ddist, Scribble: scribble,
+		}, 900+int64(id), span)
+		t.Threads = append(t.Threads, sub.Threads[0])
+	}
+	return t
+}
+
+// preciseShapes are race-free, scribble-free traces: every protocol must
+// replay them to bit-identical memory, whatever states it moved through.
+func preciseShapes() []shape {
+	return []shape{
+		{"migratory", 64, func(base mem.Addr) *Trace {
+			return Migratory(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: -1, Gap: 3})
+		}},
+		{"producer-consumer", 64, func(base mem.Addr) *Trace {
+			return ProducerConsumer(PatternConfig{Threads: 3, Rounds: 40, Base: base, DDist: -1, Gap: 10})
+		}},
+		{"random-disjoint", 1024, func(base mem.Addr) *Trace {
+			return randomDisjoint(base, 4, 200, 256, -1, false)
+		}},
+	}
+}
+
+// finalImage replays tr on a fresh system under p and returns the coherent
+// word-level memory image of the trace's footprint.
+func finalImage(t *testing.T, p ghostwriter.Protocol, sh shape) (mem.Addr, []uint32) {
+	t.Helper()
+	sys := ghostwriter.New(ghostwriter.Config{Protocol: p})
+	base := sys.AllocPadded(sh.size)
+	tr := sh.mk(base)
+	sys.Run(tr.NumThreads(), tr.Kernel())
+	if err := sys.CheckInvariants(true); err != nil {
+		t.Fatalf("%v: %v", p, err)
+	}
+	img := make([]uint32, sh.size/4)
+	for i := range img {
+		img[i] = sys.ReadCoherent32(base + mem.Addr(4*i))
+	}
+	return base, img
+}
+
+// TestCrossProtocolDifferential replays the same race-free precise traces
+// under all three protocols and demands bit-identical final memory images:
+// with no scribbles the approximate states must be behaviorally invisible,
+// so any divergence is a protocol-table value bug the generators caught.
+func TestCrossProtocolDifferential(t *testing.T) {
+	protos := []ghostwriter.Protocol{
+		ghostwriter.Baseline, ghostwriter.Ghostwriter, ghostwriter.GWNoGI,
+	}
+	for _, sh := range preciseShapes() {
+		t.Run(sh.name, func(t *testing.T) {
+			var ref []uint32
+			for _, p := range protos {
+				_, img := finalImage(t, p, sh)
+				if ref == nil {
+					ref = img
+					continue
+				}
+				for i := range img {
+					if img[i] != ref[i] {
+						t.Fatalf("word %d: %v image %#x != %v image %#x",
+							i, p, img[i], protos[0], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// runFingerprint replays tr under the full ghostwriter protocol and folds
+// the deterministic run into a comparable string: the final coherent image
+// plus the counters a divergent replay would disturb.
+func runFingerprint(t *testing.T, sh shape, tr *Trace) string {
+	t.Helper()
+	sys := ghostwriter.New(ghostwriter.Config{Protocol: ghostwriter.Ghostwriter})
+	base := sys.AllocPadded(sh.size)
+	sys.Run(tr.NumThreads(), tr.Kernel())
+	img := make([]uint32, sh.size/4)
+	for i := range img {
+		img[i] = sys.ReadCoherent32(base + mem.Addr(4*i))
+	}
+	st := sys.Stats()
+	return fmt.Sprintf("img=%x msgs=%d ld=%d st=%d scr=%d gs=%d gi=%d fb=%d",
+		img, st.TotalMsgs(), st.Loads, st.Stores, st.Scribbles,
+		st.GSEntries, st.GIEntries, st.ScribbleFallbacks)
+}
+
+// TestRoundTripAllGenerators pushes every patterns.go generator — precise
+// and scribble flavours — through serialize → parse → re-serialize and
+// demands byte-identical bytes, then replays the original and the reparsed
+// trace on the simulated machine and demands identical run fingerprints.
+// Together the two checks pin the wire format: nothing the machine can
+// observe is lost or altered by a round trip.
+func TestRoundTripAllGenerators(t *testing.T) {
+	shapes := append(preciseShapes(),
+		shape{"migratory-scribble", 64, func(base mem.Addr) *Trace {
+			return Migratory(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: 8, Gap: 3, Scribble: true})
+		}},
+		shape{"producer-consumer-scribble", 64, func(base mem.Addr) *Trace {
+			return ProducerConsumer(PatternConfig{Threads: 3, Rounds: 40, Base: base, DDist: 8, Gap: 10, Scribble: true})
+		}},
+		shape{"random-scribble", 1024, func(base mem.Addr) *Trace {
+			return randomDisjoint(base, 4, 200, 256, 8, true)
+		}},
+	)
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			// Fresh systems allocate deterministically, so generating at a
+			// probe system's base address keeps the replay bases aligned.
+			probe := ghostwriter.New(ghostwriter.Config{})
+			orig := sh.mk(probe.AllocPadded(sh.size))
+
+			var first bytes.Buffer
+			if err := orig.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if err := parsed.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("re-serialization differs: %d vs %d bytes", first.Len(), second.Len())
+			}
+
+			if a, b := runFingerprint(t, sh, orig), runFingerprint(t, sh, parsed); a != b {
+				t.Fatalf("replay fingerprints diverge:\n original: %s\n reparsed: %s", a, b)
+			}
+		})
+	}
+}
