@@ -4,7 +4,7 @@
 //	gwbench -list                          # show the pinned suite
 //	gwbench -iters 3 -out BENCH_2.json     # measure and snapshot
 //	gwbench -baseline old.json -out B.json # embed a pre-change baseline
-//	gwbench -compare BENCH_1.json          # exit 1 on >threshold regression
+//	gwbench -compare BENCH_1.json          # exit 1 on >threshold regression or suite drift
 //
 // Numbers are host-dependent; comparisons across different host
 // fingerprints are printed with a warning. Render the trajectory with
@@ -85,12 +85,12 @@ func main() {
 		}
 		regs := bench.Compare(snap, base, *threshold)
 		for _, r := range regs {
-			fmt.Fprintln(os.Stderr, "gwbench: REGRESSION:", r)
+			fmt.Fprintln(os.Stderr, "gwbench: FAIL:", r)
 		}
 		if len(regs) > 0 {
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "gwbench: no regression vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
+		fmt.Fprintf(os.Stderr, "gwbench: no regression or suite drift vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
 	}
 }
 

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -61,6 +63,7 @@ func realMain() int {
 		threads  = flag.Int("threads", 24, "worker threads")
 		protocol = flag.String("protocol", "", "coherence protocol table for every cell: mesi|ghostwriter|gw-noGI (empty = d-distance decides)")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
+		shards   = flag.String("shards", "auto", "shard workers per simulated machine: a count, or auto = all host CPUs (results are identical for every value)")
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
 		remote   = flag.String("remote", "", "base URL of a shared gwcached result cache (e.g. http://cachehost:8344)")
@@ -81,7 +84,12 @@ func realMain() int {
 			return 2
 		}
 	}
-	opt := harness.Options{Scale: *scale, Threads: *threads, Protocol: *protocol}
+	nshards, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwsweep:", err)
+		return 2
+	}
+	opt := harness.Options{Scale: *scale, Threads: *threads, Protocol: *protocol, Shards: nshards}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -345,4 +353,19 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+// parseShards resolves the -shards flag: "auto" means one shard worker per
+// host CPU (the simulated schedule is shard-count-invariant, so auto never
+// changes results, only wall-clock). Explicit counts must be positive; the
+// machine clamps them to the tile count.
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -shards %q: want a positive count or auto", s)
+	}
+	return n, nil
 }

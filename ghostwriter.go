@@ -160,6 +160,12 @@ type Config struct {
 	// ProfileSimilarity records the d-distance between every store value
 	// and the value it overwrites (the Fig. 2 methodology). Off by default.
 	ProfileSimilarity bool
+	// Shards is the number of host worker goroutines that drain the
+	// sharded simulator's per-tile timing wheels (0 or 1 = sequential).
+	// Purely a host-parallelism knob: results are bit-identical for every
+	// value (see DESIGN.md §12). Omitted from JSON when zero so cache keys
+	// minted before sharding stay valid.
+	Shards int `json:"Shards,omitempty"`
 }
 
 // System is one simulated CMP. Build inputs with Alloc/Preload (or the
@@ -198,6 +204,7 @@ func (c Config) MachineConfig() machine.Config {
 	mc.AdaptiveGITimeout = c.AdaptiveGITimeout
 	mc.StaleLoads = c.StaleLoads
 	mc.ProfileSimilarity = c.ProfileSimilarity
+	mc.Shards = c.Shards
 	return mc
 }
 

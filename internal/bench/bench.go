@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"ghostwriter/internal/harness"
@@ -63,7 +64,9 @@ type Snapshot struct {
 
 // Case is one pinned benchmark: an application at a fixed d-distance,
 // scale, and thread count. Protocol optionally names the coherence
-// protocol table; empty keeps the legacy d-distance rule.
+// protocol table; empty keeps the legacy d-distance rule. Shards sets the
+// simulator's shard-worker count (0 = sequential); it never changes the
+// simulated result, only which engine path the benchmark times.
 type Case struct {
 	Name     string
 	App      string
@@ -71,10 +74,11 @@ type Case struct {
 	Scale    int
 	Threads  int
 	Protocol string
+	Shards   int
 }
 
 func (c Case) opt() harness.Options {
-	return harness.Options{Scale: c.Scale, Threads: c.Threads, Protocol: c.Protocol}
+	return harness.Options{Scale: c.Scale, Threads: c.Threads, Protocol: c.Protocol, Shards: c.Shards}
 }
 
 // Suite returns the pinned benchmark cases: the Fig. 1 microbenchmarks and
@@ -93,6 +97,12 @@ func Suite() []Case {
 		// Pure table-interpreted MESI with scribbles escalating to stores:
 		// the protocol selected by name rather than by d-distance.
 		{Name: "linear_regression/mesi", App: "linear_regression", DDist: 8, Scale: 1, Threads: 24, Protocol: "mesi"},
+		// Sharded-engine cases: the same simulations driven by parallel
+		// shard workers over the per-tile timing wheels. Results are
+		// identical to the sequential cases; the timing measures the window
+		// scheduler and barrier merge under both light and full sharding.
+		{Name: "linear_regression/d8/shards4", App: "linear_regression", DDist: 8, Scale: 1, Threads: 24, Shards: 4},
+		{Name: "histogram/d8/shards24", App: "histogram", DDist: 8, Scale: 1, Threads: 24, Shards: 24},
 	}
 }
 
@@ -162,28 +172,51 @@ func Take(iters int, progress func(string)) (*Snapshot, error) {
 }
 
 // Compare checks cur against base and returns one human-readable line per
-// regression: a case whose ns/op grew by more than threshold (0.2 = 20%).
-// Cases present on only one side are ignored (suite drift is reported by
-// the caller, not treated as a regression).
+// failure: a case whose ns/op grew by more than threshold (0.2 = 20%), or a
+// case present in only one snapshot. Suite drift in either direction is a
+// hard failure, not a skip — a silently dropped case is exactly how a
+// regression hides (the case that got slow disappears from the comparison),
+// and a silently added case has no baseline protecting it. Regression lines
+// come first (current-snapshot order), then drift lines sorted by name.
 func Compare(cur, base *Snapshot, threshold float64) []string {
 	baseBy := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseBy[r.Name] = r
 	}
-	var regressions []string
+	var failures []string
+	var added []string
 	for _, r := range cur.Results {
 		b, ok := baseBy[r.Name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
+			added = append(added, r.Name)
+			continue
+		}
+		delete(baseBy, r.Name)
+		if b.NsPerOp <= 0 {
 			continue
 		}
 		ratio := r.NsPerOp / b.NsPerOp
 		if ratio > 1+threshold {
-			regressions = append(regressions, fmt.Sprintf(
+			failures = append(failures, fmt.Sprintf(
 				"%s: ns/op %.3gx baseline (%.0f vs %.0f, threshold %.0f%%)",
 				r.Name, ratio, r.NsPerOp, b.NsPerOp, threshold*100))
 		}
 	}
-	return regressions
+	var removed []string
+	for name := range baseBy {
+		removed = append(removed, name)
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, name := range added {
+		failures = append(failures, fmt.Sprintf(
+			"%s: suite drift — present only in the current snapshot (no baseline)", name))
+	}
+	for _, name := range removed {
+		failures = append(failures, fmt.Sprintf(
+			"%s: suite drift — present only in the baseline snapshot (case dropped)", name))
+	}
+	return failures
 }
 
 // Speedup summarizes cur vs base as (geomean sim-cycles/sec ratio, geomean

@@ -40,11 +40,41 @@ func TestCompareThresholdBoundary(t *testing.T) {
 	}
 }
 
-func TestCompareIgnoresSuiteDrift(t *testing.T) {
-	base := snap(Result{Name: "gone/d0", NsPerOp: 1})
-	cur := snap(Result{Name: "new/d0", NsPerOp: 1e9})
-	if regs := Compare(cur, base, 0.2); len(regs) != 0 {
-		t.Fatalf("mismatched cases flagged: %v", regs)
+// TestCompareFlagsSuiteDrift pins that a case present in only one snapshot
+// is a named failure in both directions — a dropped case is how a
+// regression hides, an added case has no baseline.
+func TestCompareFlagsSuiteDrift(t *testing.T) {
+	shared := Result{Name: "same/d0", NsPerOp: 1000}
+	base := snap(shared, Result{Name: "gone/d0", NsPerOp: 1})
+	cur := snap(shared, Result{Name: "new/d0", NsPerOp: 1e9})
+	regs := Compare(cur, base, 0.2)
+	if len(regs) != 2 {
+		t.Fatalf("want two drift failures, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "new/d0") || !strings.Contains(regs[0], "current") {
+		t.Fatalf("added case not named as current-only drift: %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "gone/d0") || !strings.Contains(regs[1], "baseline") {
+		t.Fatalf("dropped case not named as baseline-only drift: %q", regs[1])
+	}
+	// Drift only — no false regression on the shared case.
+	for _, r := range regs {
+		if strings.Contains(r, "same/d0") {
+			t.Fatalf("shared case flagged: %q", r)
+		}
+	}
+}
+
+// TestCompareDriftOneDirectionOnly pins each direction in isolation.
+func TestCompareDriftOneDirectionOnly(t *testing.T) {
+	shared := Result{Name: "same/d0", NsPerOp: 1000}
+	if regs := Compare(snap(shared, Result{Name: "new/d0", NsPerOp: 5}), snap(shared), 0.2); len(regs) != 1 ||
+		!strings.Contains(regs[0], "new/d0") {
+		t.Fatalf("added-only drift: got %v", regs)
+	}
+	if regs := Compare(snap(shared), snap(shared, Result{Name: "gone/d0", NsPerOp: 5}), 0.2); len(regs) != 1 ||
+		!strings.Contains(regs[0], "gone/d0") {
+		t.Fatalf("dropped-only drift: got %v", regs)
 	}
 }
 

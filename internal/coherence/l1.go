@@ -164,6 +164,11 @@ type L1 struct {
 	home  func(mem.Addr) noc.NodeID
 	pool  *MsgPool
 
+	// giBlocks counts frames currently in GI — a census maintained at
+	// every state change so the periodic sweep can skip scanning the whole
+	// array (the dominant sweep cost) whenever nothing is in GI.
+	giBlocks int
+
 	cur                *CoreOp
 	curMsg             *Msg // the message being dispatched (nil for core ops)
 	actVal             uint64
@@ -269,13 +274,16 @@ func (l *L1) giSweep() {
 		return
 	}
 	swept := 0
-	l.arr.ForEach(func(si int, b *cache.Block) {
-		if b.State == cache.GI {
-			b.State = cache.Invalid
-			l.st.GITimeouts++
-			swept++
-		}
-	})
+	if l.giBlocks > 0 {
+		l.arr.ForEach(func(si int, b *cache.Block) {
+			if b.State == cache.GI {
+				b.State = cache.Invalid
+				l.st.GITimeouts++
+				swept++
+			}
+		})
+		l.giBlocks = 0
+	}
 	if l.cfg.AdaptiveGITimeout {
 		switch {
 		case swept >= 2 && l.curTimeout > l.cfg.GITimeout/8:
@@ -339,7 +347,7 @@ func (l *L1) dispatch(ev proto.Event, b *cache.Block) {
 			continue
 		}
 		if t.Next != proto.Stay {
-			b.State = t.Next
+			l.setState(b, t.Next)
 		}
 		for _, a := range t.Actions {
 			l.runAction(a, b)
@@ -351,6 +359,19 @@ func (l *L1) dispatch(ev proto.Event, b *cache.Block) {
 		return
 	}
 	panic(fmt.Sprintf("l1 %d: no %v transition in state %v", l.id, ev, proto.L1StateName(s)))
+}
+
+// setState writes a block's new state while maintaining the GI census.
+// Every state change outside the sweep itself must go through here (or
+// adjust giBlocks explicitly) or the sweep's skip check goes stale.
+func (l *L1) setState(b *cache.Block, next cache.State) {
+	if b.State == cache.GI {
+		l.giBlocks--
+	}
+	if next == cache.GI {
+		l.giBlocks++
+	}
+	b.State = next
 }
 
 // ruleFires evaluates a rule's guards in order, short-circuiting — guard
@@ -513,7 +534,7 @@ func (l *L1) runAction(a proto.Action, b *cache.Block) {
 		if l.invAfterFill {
 			// The block was invalidated between grant and fill; the load
 			// still completes with the granted (then-coherent) value.
-			b.State = cache.Invalid
+			l.setState(b, cache.Invalid)
 			l.invAfterFill = false
 		}
 	case proto.AUnblock:
@@ -661,8 +682,15 @@ func (l *L1) allocFrame(addr mem.Addr, newState cache.State, req MsgType) {
 // installAndRequest claims the chosen victim frame for the pending fill and
 // sends its request to the home directory.
 func (l *L1) installAndRequest() {
+	if l.fillVictim.Valid && l.fillVictim.State == cache.GI {
+		// A GI victim leaves the census when its frame is reclaimed.
+		l.giBlocks--
+	}
 	l.arr.Evict(l.fillVictim)
 	l.arr.Install(l.fillVictim, l.fillAddr, l.fillState, nil)
+	if l.fillState == cache.GI {
+		l.giBlocks++
+	}
 	l.fillVictim = nil
 	l.sendReq(l.fillReq, l.fillAddr)
 }
@@ -724,14 +752,14 @@ func (l *L1) serveFwd(m *Msg, b *cache.Block) {
 		wb.Data = append(wb.Data[:0], b.Data...)
 		l.send(l.home(m.Addr), wb)
 		if b.State != cache.EVA {
-			b.State = cache.Shared
+			l.setState(b, cache.Shared)
 		}
 		return
 	}
 	c2c.Grant = GrantM
 	l.send(noc.NodeID(m.Requestor), c2c)
 	if b.State != cache.EVA {
-		b.State = cache.Invalid
+		l.setState(b, cache.Invalid)
 	}
 }
 

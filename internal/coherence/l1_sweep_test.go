@@ -31,13 +31,18 @@ func sweepL1(t *testing.T, giTimeout sim.Cycle, adaptive bool) *L1 {
 	return l
 }
 
-// putGI installs n distinct blocks in state GI.
+// putGI installs n distinct blocks in state GI. Installing behind the
+// L1's back must keep the GI census in step, like installAndRequest does.
 func putGI(l *L1, n int) {
 	for i := 0; i < n; i++ {
 		a := mem.Addr(0x1000 + i*64)
 		v := l.arr.VictimWay(a)
+		if v.Valid && v.State == cache.GI {
+			l.giBlocks--
+		}
 		l.arr.Evict(v)
 		l.arr.Install(v, a, cache.GI, nil)
+		l.giBlocks++
 	}
 }
 

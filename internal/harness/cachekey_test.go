@@ -180,14 +180,14 @@ var goldenKeys = []struct {
 		spec: func() Spec {
 			return specFor("histogram", Options{Scale: 1, Threads: 24}, 0, false, ghostwriter.PolicyHybrid)
 		},
-		want: "79acf36d3390f1e45c5fcc2f77bc7222d70a6fe0c9aceaaa62339336a5ba5a68",
+		want: "ad76085fd797adbc7476bf302ad317048d8cfb5ee4e53737d9635f394e231aa6",
 	},
 	{
 		name: "linear_regression-d8-t24",
 		spec: func() Spec {
 			return specFor("linear_regression", Options{Scale: 1, Threads: 24}, 8, false, ghostwriter.PolicyHybrid)
 		},
-		want: "76ca1e1d16cf6b2edf4c7f9840a7c114f4dd882bcea870797c9a99d3298e3877",
+		want: "0790af643a99966b7bf2ac3e329747bbc6b26c24b2ddfd69eb00fbd1a371ca6e",
 	},
 	{
 		name: "bad_dot_product-d4-timeout512",
@@ -196,7 +196,7 @@ var goldenKeys = []struct {
 			s.Config.GITimeout = 512
 			return s
 		},
-		want: "137dc671b0ea65f04ad756559a8cd47c3aec46669ea400fb5bab5b737f0d48eb",
+		want: "d38c4ed20e44dbdf6d3441949cd021e49d78ec2e47b83259a55bb0a078aa81b1",
 	},
 	{
 		// A named protocol table: both the spec's protocol field and the
@@ -207,7 +207,7 @@ var goldenKeys = []struct {
 			s.Protocol = "gw-noGI"
 			return s
 		},
-		want: "cab5f2a85274a312a2665c365e621f5ea08e746576bcf8c6871f3604bd189247",
+		want: "df2c34795b8c6c9cef3c271378c589d7e9297b9ab62b53549332f3076cb21ba1",
 	},
 }
 

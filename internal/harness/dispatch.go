@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -240,18 +241,31 @@ func (d *Dispatcher) Status() SweepStatus {
 
 func (d *Dispatcher) reapLocked() int {
 	now := d.now()
-	n := 0
+	// Collect expired leases first, then requeue in (expiry, key) order:
+	// iterating the cell map directly would requeue in map order, handing a
+	// mass expiry's cells back out in a different order on every run.
+	var expired []string
 	for k, c := range d.cells {
 		if c.state == stateLeased && c.expiry.Before(now) {
-			c.state = statePending
-			c.worker = ""
-			d.leased--
-			d.queue = append(d.queue, k)
-			d.reclaims++
-			n++
+			expired = append(expired, k)
 		}
 	}
-	return n
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := d.cells[expired[i]], d.cells[expired[j]]
+		if !a.expiry.Equal(b.expiry) {
+			return a.expiry.Before(b.expiry)
+		}
+		return expired[i] < expired[j]
+	})
+	for _, k := range expired {
+		c := d.cells[k]
+		c.state = statePending
+		c.worker = ""
+		d.leased--
+		d.queue = append(d.queue, k)
+		d.reclaims++
+	}
+	return len(expired)
 }
 
 // popLocked pops the next pending cell, discarding stale queue entries.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -237,5 +238,114 @@ func TestDispatcherClaimBatching(t *testing.T) {
 	}
 	if one, _ := d.Claim("w2", 0); len(one) != 1 {
 		t.Errorf("claim(0) handed out %d cells, want 1", len(one))
+	}
+}
+
+// TestDispatcherReapCompleteSameTick pins the Complete-vs-reaper race at
+// one deterministic clock tick, in both interleavings. Whichever side wins,
+// the cell ends done exactly once: done=1, pending=0, no double count, and
+// the loser's Complete reports no state change.
+func TestDispatcherReapCompleteSameTick(t *testing.T) {
+	// Interleaving 1: the result PUT (Complete) lands first, the reaper
+	// fires in the same tick. The completed cell must not be reclaimed back
+	// to pending.
+	d, now := newManualDispatcher(50 * time.Millisecond)
+	d.Submit(manifestItems(1), nil)
+	one, _ := d.Claim("w1", 1)
+	key := one[0].Key
+	*now = now.Add(60 * time.Millisecond) // lease now expired
+	if !d.Complete(key) {
+		t.Fatal("completion at expiry tick rejected")
+	}
+	if n := d.Reap(); n != 0 {
+		t.Fatalf("reaper reclaimed %d done cells, want 0", n)
+	}
+	st := d.Status()
+	if st.Done != 1 || st.Pending != 0 || st.Leased != 0 || st.Reclaims != 0 {
+		t.Fatalf("complete-then-reap status = %+v, want done=1 only", st)
+	}
+	checkInvariant(t, st)
+
+	// Interleaving 2: the reaper fires first in the tick, then the worker's
+	// Complete arrives. The reclaim moves the cell to pending; Complete
+	// finishes it from there — once.
+	d, now = newManualDispatcher(50 * time.Millisecond)
+	d.Submit(manifestItems(1), nil)
+	one, _ = d.Claim("w1", 1)
+	key = one[0].Key
+	*now = now.Add(60 * time.Millisecond)
+	if n := d.Reap(); n != 1 {
+		t.Fatalf("reaper reclaimed %d cells, want 1", n)
+	}
+	if !d.Complete(key) {
+		t.Fatal("completion of a reclaimed-pending cell rejected")
+	}
+	if d.Complete(key) {
+		t.Fatal("second completion reported a state change")
+	}
+	st = d.Status()
+	if st.Done != 1 || st.Pending != 0 || st.Leased != 0 || st.Reclaims != 1 {
+		t.Fatalf("reap-then-complete status = %+v, want done=1 reclaims=1", st)
+	}
+	checkInvariant(t, st)
+
+	// Interleaving 3: reclaim, re-claim by a second worker, then both
+	// workers publish. One done, one state change, reclaim counted once.
+	d, now = newManualDispatcher(50 * time.Millisecond)
+	d.Submit(manifestItems(1), nil)
+	one, _ = d.Claim("w1", 1)
+	key = one[0].Key
+	*now = now.Add(60 * time.Millisecond)
+	if again, _ := d.Claim("w2", 1); len(again) != 1 || again[0].Key != key {
+		t.Fatal("expired cell not re-dispatched to the second worker")
+	}
+	if !d.Complete(key) {
+		t.Fatal("first publication rejected")
+	}
+	if d.Complete(key) {
+		t.Fatal("second worker's publication reported a state change")
+	}
+	st = d.Status()
+	if st.Done != 1 || st.Pending != 0 || st.Leased != 0 || st.Reclaims != 1 {
+		t.Fatalf("reclaim/re-claim/double-complete status = %+v, want done=1 reclaims=1", st)
+	}
+	checkInvariant(t, st)
+}
+
+// TestDispatcherReapRequeueDeterministic pins the reaper's requeue order:
+// a mass expiry returns cells to the queue sorted by (expiry, key), never
+// in map-iteration order, so crash recovery dispatches identically on
+// every run.
+func TestDispatcherReapRequeueDeterministic(t *testing.T) {
+	d, now := newManualDispatcher(50 * time.Millisecond)
+	d.Submit(manifestItems(6), nil)
+	// Two claim waves 10ms apart: wave 1 (4 cells) expires before wave 2
+	// (2 cells), so wave-1 keys must requeue first — sorted within a wave.
+	wave1, _ := d.Claim("w1", 4)
+	*now = now.Add(10 * time.Millisecond)
+	wave2, _ := d.Claim("w2", 2)
+	*now = now.Add(60 * time.Millisecond) // both waves expired
+
+	var want []string
+	for _, wave := range [][]WorkItem{wave1, wave2} {
+		keys := make([]string, len(wave))
+		for i, it := range wave {
+			keys[i] = it.Key
+		}
+		sort.Strings(keys)
+		want = append(want, keys...)
+	}
+
+	if n := d.Reap(); n != 6 {
+		t.Fatalf("reaped %d, want 6", n)
+	}
+	got, _ := d.Claim("w3", 6)
+	if len(got) != 6 {
+		t.Fatalf("re-claimed %d cells, want 6", len(got))
+	}
+	for i, it := range got {
+		if it.Key != want[i] {
+			t.Fatalf("requeue position %d = %s, want %s (expiry, key order)", i, it.Key, want[i])
+		}
 	}
 }

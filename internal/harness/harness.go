@@ -32,6 +32,10 @@ type Options struct {
 	// legacy rule: positive d-distances run Ghostwriter, d = 0 runs the
 	// baseline.
 	Protocol string
+	// Shards is the host-parallelism degree of each simulated machine's
+	// sharded engine (0 = sequential). Simulation results are
+	// shard-count-invariant; this only trades host cores for wall-clock.
+	Shards int
 }
 
 // DefaultOptions runs the paper's 24-thread configuration at test scale.

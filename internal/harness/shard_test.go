@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// shardCounts are the host-parallelism degrees the differential sweeps.
+// 1 is the sequential oracle; the rest must be byte-identical to it.
+var shardCounts = []int{1, 2, 4, 8}
+
+// resultFingerprint hashes a cell's full RunResult (cycles, stats, energy,
+// quality) via its JSON form — the same serialization the disk cache
+// stores, so equality here is equality of everything a sweep can observe.
+func resultFingerprint(t *testing.T, res RunResult) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestShardDeterminismAblationGrid is the harness-level differential the
+// issue specifies: every cell of the protocol-ablation grid (Table 2 suite
+// × registered protocol tables) must produce a byte-identical RunResult at
+// 1, 2, 4, and 8 shards. The shard variants of a cell run concurrently, so
+// under -race this also exercises simultaneous sharded machines.
+func TestShardDeterminismAblationGrid(t *testing.T) {
+	jobs := protoJobs(Options{Scale: 1, Threads: 24})
+	if testing.Short() {
+		jobs = jobs[:3] // one application, all protocols
+	}
+	for _, j := range jobs {
+		j := j
+		t.Run(j.Label, func(t *testing.T) {
+			t.Parallel()
+			var wg sync.WaitGroup
+			fps := make([]string, len(shardCounts))
+			errs := make([]error, len(shardCounts))
+			for i, shards := range shardCounts {
+				i, shards := i, shards
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					s := j.Spec
+					s.Shards = shards
+					res, err := executeSpec(s)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					fps[i] = resultFingerprint(t, res)
+				}()
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shardCounts[i], err)
+				}
+			}
+			for i := 1; i < len(fps); i++ {
+				if fps[i] != fps[0] {
+					t.Errorf("shards=%d fingerprint %s, want %s (shards=1)",
+						shardCounts[i], fps[i], fps[0])
+				}
+			}
+		})
+	}
+}

@@ -15,7 +15,7 @@ import (
 // whenever a change alters simulation results (protocol semantics, timing
 // model, workload inputs, quality metrics) so stale cached cells are never
 // reused across incompatible code.
-const codeVersion = "gw-sim-v1"
+const codeVersion = "gw-sim-v2"
 
 // Spec fully describes one evaluation cell: which application to run, at
 // what scale and thread count, with which d-distance, and under which
@@ -40,6 +40,13 @@ type Spec struct {
 	// keys minted before protocols were selectable stay valid: an
 	// old-format key (no protocol field) means exactly the legacy rule.
 	Protocol string `json:"protocol,omitempty"`
+	// Shards is the host-parallelism degree of the sharded simulator
+	// (0 = sequential). Results are shard-count-invariant, but the knob is
+	// still part of the key — the key's contract is "any field change
+	// produces a different key", and keeping it is what the differential
+	// determinism tests verify against. Omitted when zero so pre-sharding
+	// cache keys stay valid.
+	Shards int `json:"shards,omitempty"`
 	// Config carries the remaining system knobs (policy, GI timeout, MSI,
 	// error bound, ...). Protocol and ProfileSimilarity are derived from
 	// DDist and Profile — see effective.
@@ -55,6 +62,7 @@ func specFor(name string, opt Options, ddist int, profile bool, policy ghostwrit
 		DDist:    ddist,
 		Profile:  profile,
 		Protocol: opt.Protocol,
+		Shards:   opt.Shards,
 		Config:   ghostwriter.Config{Policy: policy},
 	}
 }
@@ -69,6 +77,9 @@ func specFor(name string, opt Options, ddist int, profile bool, policy ghostwrit
 func (s Spec) effective() ghostwriter.Config {
 	cfg := s.Config
 	cfg.ProfileSimilarity = s.Profile
+	if s.Shards != 0 {
+		cfg.Shards = s.Shards
+	}
 	switch {
 	case s.Protocol != "":
 		if p, err := ghostwriter.ParseProtocol(s.Protocol); err == nil {

@@ -77,6 +77,7 @@ func TestMSIBaseProtocol(t *testing.T) {
 			t.Errorf("cold load under MSI: %v, want S", st)
 		}
 		th.Store32(a, 5)
+		th.Sync()
 		if st, _ := stateOf(m, 0, a); st != cache.Modified {
 			t.Errorf("store under MSI: %v, want M", st)
 		}

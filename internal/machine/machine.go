@@ -69,6 +69,14 @@ type Config struct {
 	MigratoryOpt bool
 	// ProfileSimilarity turns on the Fig. 2 store-value d-distance profiler.
 	ProfileSimilarity bool
+	// Shards is the number of worker goroutines that drain the per-tile
+	// timing wheels inside each lookahead window. 0 and 1 both mean the
+	// caller's goroutine drains everything itself. The simulated schedule
+	// — every cycle count, every stat, every byte of output — is
+	// shard-count-invariant by construction (see DESIGN.md §12), so this
+	// is purely a host-parallelism knob. Omitted from JSON when zero so
+	// pre-sharding cache keys stay valid.
+	Shards int `json:",omitempty"`
 }
 
 // DefaultConfig mirrors Table 1 of the paper: 24 in-order cores at 1 GHz,
@@ -96,15 +104,27 @@ func DefaultConfig() Config {
 // with ReadCoherent and inspect Stats/Energy.
 type Machine struct {
 	cfg     Config
-	eng     *sim.Engine
+	clu     *sim.Cluster
 	net     *noc.Network
 	l1s     []*coherence.L1
 	dirs    []*coherence.Directory
 	dirNode []noc.NodeID
 	backing *mem.Memory
 	alloc   *mem.Allocator
-	meter   *energy.Meter
-	st      *stats.Stats
+
+	// Counters are sharded like the engine: each tile's components write
+	// only their own meter/stats, and the window merge phase writes the
+	// merge pair (link arbitration). Stats()/Energy() fold everything into
+	// the merged views in fixed tile order, so the totals are identical
+	// for every shard count.
+	tileMeters []*energy.Meter
+	tileStats  []*stats.Stats
+	mergeMeter *energy.Meter
+	mergeSt    *stats.Stats
+	meter      *energy.Meter // merged view, rebuilt by Energy()
+	st         *stats.Stats  // merged view, rebuilt by Stats()
+	lastCycles uint64        // end cycle of the last Run
+	lastEvents uint64        // cumulative events fired as of the last Run
 
 	threads []*Thread
 	active  int
@@ -122,15 +142,30 @@ func New(cfg Config) *Machine {
 	if len(cfg.DirNodes) == 0 {
 		panic("machine: no directory nodes")
 	}
-	m := &Machine{
-		cfg:     cfg,
-		eng:     &sim.Engine{},
-		backing: mem.New(),
-		alloc:   mem.NewAllocator(0x1_0000, cfg.L1.BlockSize),
-		meter:   &energy.Meter{},
-		st:      &stats.Stats{},
+	nodes := cfg.Mesh.Width * cfg.Mesh.Height
+	lookahead := cfg.Mesh.Lookahead()
+	if lookahead > migrationCost {
+		// The merge phase schedules migration resumes at stage-cycle +
+		// migrationCost and relies on that landing at or past the horizon.
+		panic(fmt.Sprintf("machine: NoC lookahead %d exceeds the migration cost %d", lookahead, migrationCost))
 	}
-	m.net = noc.New(m.eng, cfg.Mesh, m.meter, m.st)
+	m := &Machine{
+		cfg:        cfg,
+		clu:        sim.NewCluster(nodes, lookahead, cfg.Shards),
+		backing:    mem.New(),
+		alloc:      mem.NewAllocator(0x1_0000, cfg.L1.BlockSize),
+		tileMeters: make([]*energy.Meter, nodes),
+		tileStats:  make([]*stats.Stats, nodes),
+		mergeMeter: &energy.Meter{},
+		mergeSt:    &stats.Stats{},
+		meter:      &energy.Meter{},
+		st:         &stats.Stats{},
+	}
+	for i := 0; i < nodes; i++ {
+		m.tileMeters[i] = &energy.Meter{}
+		m.tileStats[i] = &stats.Stats{}
+	}
+	m.net = noc.NewSharded(m.clu, cfg.Mesh, m.tileMeters, m.tileStats, m.mergeMeter, m.mergeSt)
 
 	for _, n := range cfg.DirNodes {
 		m.dirNode = append(m.dirNode, noc.NodeID(n))
@@ -164,14 +199,21 @@ func New(cfg Config) *Machine {
 	if cfg.L2PerCoreBytes > 0 {
 		dirCfg.CapacityBlocks = cfg.L2PerCoreBytes * cfg.Cores / len(cfg.DirNodes) / cfg.L1.BlockSize
 	}
-	// One machine-wide message pool: the engine is single-threaded, and
-	// every message is consumed by a controller on the same machine.
-	pool := &coherence.MsgPool{}
+	// One message pool per mesh node: a tile's components allocate and
+	// free only from their own worker goroutine (the receiver frees, and a
+	// delivered message belongs to the receiving tile), so the intrusive
+	// free lists stay lock-free. Records drift between pools as messages
+	// cross tiles, which is harmless — a pool is just a recycling bin.
+	pools := make([]*coherence.MsgPool, nodes)
+	for i := range pools {
+		pools[i] = &coherence.MsgPool{}
+	}
 	dirAt := make(map[noc.NodeID]*coherence.Directory)
 	for i, n := range m.dirNode {
-		ch := dram.NewChannel(m.eng, cfg.DRAM, m.backing, m.meter, m.st)
-		d := coherence.NewDirectory(i, n, m.eng, m.net, dirCfg, ch, m.meter, m.st)
-		d.UsePool(pool)
+		eng, meter, st := m.clu.Tile(int(n)), m.tileMeters[n], m.tileStats[n]
+		ch := dram.NewChannel(eng, cfg.DRAM, m.backing, meter, st)
+		d := coherence.NewDirectory(i, n, eng, m.net, dirCfg, ch, meter, st)
+		d.UsePool(pools[n])
 		m.dirs = append(m.dirs, d)
 		dirAt[n] = d
 	}
@@ -189,8 +231,8 @@ func New(cfg Config) *Machine {
 		ProfileSimilarity: cfg.ProfileSimilarity,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		l1 := coherence.NewL1(i, m.eng, m.net, l1Cfg, home, m.meter, m.st)
-		l1.UsePool(pool)
+		l1 := coherence.NewL1(i, m.clu.Tile(i), m.net, l1Cfg, home, m.tileMeters[i], m.tileStats[i])
+		l1.UsePool(pools[i])
 		m.l1s = append(m.l1s, l1)
 	}
 
@@ -281,22 +323,52 @@ func (m *Machine) CoreReport() []CoreUtil {
 // Network exposes the mesh (for link-utilization reporting).
 func (m *Machine) Network() *noc.Network { return m.net }
 
-// Stats returns the run's counters.
-func (m *Machine) Stats() *stats.Stats { return m.st }
+// Stats returns the run's counters, folded from the per-tile stats (in
+// tile order) plus the merge-phase stats into one view.
+func (m *Machine) Stats() *stats.Stats {
+	*m.st = stats.Stats{}
+	for _, ts := range m.tileStats {
+		m.st.Add(ts)
+	}
+	m.st.Add(m.mergeSt)
+	m.st.Cycles = m.lastCycles
+	m.st.Events = m.lastEvents
+	return m.st
+}
 
-// ResetStats zeroes the measurement counters and the energy meter without
+// ResetStats zeroes the measurement counters and the energy meters without
 // touching any architectural state — the standard warm-up methodology:
 // run a warm-up phase, reset, then measure the region of interest.
 func (m *Machine) ResetStats() {
+	for _, ts := range m.tileStats {
+		*ts = stats.Stats{}
+	}
+	for _, tm := range m.tileMeters {
+		*tm = energy.Meter{}
+	}
+	*m.mergeSt = stats.Stats{}
+	*m.mergeMeter = energy.Meter{}
 	*m.st = stats.Stats{}
 	*m.meter = energy.Meter{}
+	m.lastCycles = 0
+	m.lastEvents = 0
 }
 
-// Energy returns the run's energy meter.
-func (m *Machine) Energy() *energy.Meter { return m.meter }
+// Energy returns the run's energy meter, folded from the per-tile meters
+// (in tile order) plus the merge-phase meter. Floating-point accumulation
+// order is therefore fixed, keeping the joules deterministic and
+// shard-count-invariant.
+func (m *Machine) Energy() *energy.Meter {
+	*m.meter = energy.Meter{}
+	for _, tm := range m.tileMeters {
+		m.meter.Add(tm)
+	}
+	m.meter.Add(m.mergeMeter)
+	return m.meter
+}
 
 // Cycles returns the current simulated time.
-func (m *Machine) Cycles() uint64 { return uint64(m.eng.Now()) }
+func (m *Machine) Cycles() uint64 { return uint64(m.clu.Now()) }
 
 // dirFor returns the home directory object for a block address.
 func (m *Machine) dirFor(a mem.Addr) *coherence.Directory {

@@ -35,6 +35,7 @@ func TestFig3Transitions(t *testing.T) {
 				t.Errorf("after cold load: %v, want E", st)
 			}
 			th.Store32(a, 1) // E → M is silent
+			th.Sync()
 			if st, _ := stateOf(m, 0, a); st != cache.Modified {
 				t.Errorf("after store on E: %v, want M", st)
 			}
@@ -52,6 +53,7 @@ func TestFig3Transitions(t *testing.T) {
 			th.Barrier()
 			if th.ID() == 0 {
 				th.Store32(a, 7)
+				th.Sync()
 				if st, _ := stateOf(m, 0, a); st != cache.Modified {
 					t.Errorf("after store on S: %v, want M", st)
 				}
@@ -75,6 +77,7 @@ func TestFig3Transitions(t *testing.T) {
 			th.Barrier()
 			if th.ID() == 1 {
 				th.Scribble32(a, 1) // 0 → 1: within 4-distance → GS
+				th.Sync()
 				if st, _ := stateOf(m, 1, a); st != cache.GS {
 					t.Errorf("after similar scribble on S: %v, want GS", st)
 				}
@@ -117,6 +120,7 @@ func TestFig3Transitions(t *testing.T) {
 				// without a GETX.
 				before := m.Stats().Msgs[stats.MsgGETX]
 				th.Scribble32(a, 13)
+				th.Sync()
 				if st, _ := stateOf(m, 1, a); st != cache.GI {
 					t.Errorf("after similar scribble on I: %v, want GI", st)
 				}
@@ -124,6 +128,7 @@ func TestFig3Transitions(t *testing.T) {
 					t.Error("GI entry must not send GETX")
 				}
 				th.Compute(2000) // outlive the timeout
+				th.Sync()
 				if st, _ := stateOf(m, 1, a); st != cache.Invalid {
 					t.Errorf("GI after timeout: %v, want I", st)
 				}
@@ -187,6 +192,7 @@ func TestFig3Transitions(t *testing.T) {
 			th.Barrier()
 			if th.ID() == 1 {
 				th.Scribble32(a, 2) // → GS
+				th.Sync()
 				loads, hits := m.Stats().Loads, m.Stats().L1LoadHits
 				if th.Load32(a) != 2 {
 					t.Error("load on GS must see the hidden value")
@@ -195,6 +201,7 @@ func TestFig3Transitions(t *testing.T) {
 					t.Error("load on GS must hit")
 				}
 				th.Store32(a, 3) // conventional store also hits (approx mode on)
+				th.Sync()
 				if st, _ := stateOf(m, 1, a); st != cache.GS {
 					t.Errorf("store on GS left state %v, want GS", st)
 				}
@@ -277,6 +284,7 @@ func TestFig5ProducerConsumer(t *testing.T) {
 			// Epoch 1: Core 1 becomes the producer but its copy is now I.
 			before := m.Stats().Msgs[stats.MsgGETX]
 			th.Scribble32(a+4, 21) // within 4-distance of the stale 20
+			th.Sync()
 			if st, _ := stateOf(m, 1, a); st != cache.GI {
 				t.Errorf("producer state %v, want GI", st)
 			}
@@ -285,6 +293,7 @@ func TestFig5ProducerConsumer(t *testing.T) {
 			}
 			th.Barrier()
 			th.Compute(2000) // epoch 2: timeout
+			th.Sync()
 			if st, _ := stateOf(m, 1, a); st != cache.Invalid {
 				t.Errorf("after timeout: %v, want I", st)
 			}

@@ -1,0 +1,162 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghostwriter/internal/mem"
+)
+
+// shardProtocols are the registered tables the differential tests sweep —
+// the same set as the harness protocol-ablation grid.
+var shardProtocols = []string{"mesi", "ghostwriter", "gw-noGI"}
+
+// splitmix64 is a tiny deterministic PRNG for kernel op streams; the
+// simulation must be a pure function of the seed, never of host state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// scribbleFingerprint runs a cross-tile scribble-heavy kernel on a fresh
+// machine and returns a hash over everything observable: elapsed cycles,
+// the merged stats and energy, the per-thread utilization report, and the
+// coherent post-run memory image. Two runs differing only in Shards must
+// produce identical strings.
+func scribbleFingerprint(tb testing.TB, protocol string, shards int, seed uint64, ddist int) string {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.Protocol = protocol
+	cfg.Shards = shards
+	m := New(cfg)
+
+	const (
+		threads = 8
+		blocks  = 32
+		ops     = 300
+	)
+	region := m.AllocPadded(blocks * 64)
+	for i := 0; i < blocks*64/8; i++ {
+		m.WriteBackingUint(region+mem.Addr(8*i), 8, splitmix64(seed+uint64(i)))
+	}
+
+	elapsed := m.Run(threads, func(th *Thread) {
+		r := splitmix64(seed ^ uint64(th.ID())*0x1234567)
+		th.SetApproxDist(ddist)
+		for i := 0; i < ops; i++ {
+			r = splitmix64(r)
+			a := region + mem.Addr(r%uint64(blocks*64)&^3)
+			switch r >> 32 % 10 {
+			case 0, 1, 2, 3:
+				// Scribbles into shared blocks: GS/GI entries and the
+				// hidden-update traffic the barrier-window merge must keep
+				// in canonical order.
+				th.Scribble32(a, uint32(r))
+			case 4, 5:
+				th.Store32(a, uint32(r>>8))
+			case 6, 7, 8:
+				th.Load32(a)
+			default:
+				th.FetchAdd32(region+mem.Addr(th.ID()%4*64), 1)
+			}
+			if i == ops/3 {
+				th.Barrier()
+			}
+			if i == ops/2 {
+				// Hop to a guaranteed-free core and keep scribbling from
+				// there: migration is applied at the window merge.
+				th.Migrate(th.N() + th.ID())
+			}
+		}
+		th.Barrier()
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%d cycles=%d\n", elapsed, m.Cycles())
+	stj, err := json.Marshal(m.Stats())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Write(stj)
+	e := m.Energy()
+	fmt.Fprintf(&b, "\nenergy=%x/%x\n", e.MemoryPJ, e.NetworkPJ)
+	crj, err := json.Marshal(m.CoreReport())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Write(crj)
+	for i := 0; i < blocks*64/8; i++ {
+		fmt.Fprintf(&b, "%x,", m.ReadCoherent(region+mem.Addr(8*i), 8))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestShardDeterminismScribbleTraffic is the machine-level differential:
+// for every registered protocol, concurrent 2/4/8-shard runs must be
+// byte-identical to the sequential run. Run under -race this also proves
+// the shard workers share nothing unsynchronized.
+func TestShardDeterminismScribbleTraffic(t *testing.T) {
+	for _, p := range shardProtocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			want := scribbleFingerprint(t, p, 1, 0xD00D, 8)
+			var wg sync.WaitGroup
+			got := make(map[int]string)
+			var mu sync.Mutex
+			for _, shards := range []int{2, 4, 8} {
+				shards := shards
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					fp := scribbleFingerprint(t, p, shards, 0xD00D, 8)
+					mu.Lock()
+					got[shards] = fp
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			for shards, fp := range got {
+				if fp != want {
+					t.Errorf("shards=%d fingerprint %s, want %s (sequential)", shards, fp, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountClamped pins the edge cases: zero, one, and
+// more-shards-than-tiles all behave (and agree).
+func TestShardCountClamped(t *testing.T) {
+	want := scribbleFingerprint(t, "ghostwriter", 0, 7, 4)
+	for _, shards := range []int{1, 3, 64} {
+		if fp := scribbleFingerprint(t, "ghostwriter", shards, 7, 4); fp != want {
+			t.Errorf("shards=%d fingerprint %s, want %s", shards, fp, want)
+		}
+	}
+}
+
+// FuzzShardScribbles fuzzes the differential: any seed and d-distance must
+// keep a 4-shard run byte-identical to the sequential oracle. The seeds
+// cover the GS/GI transition traffic crossing barrier windows in both
+// protocol families.
+func FuzzShardScribbles(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(0))
+	f.Add(uint64(0xBADC0FFEE), uint8(8), uint8(1))
+	f.Add(uint64(42), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, d uint8, protoIdx uint8) {
+		p := shardProtocols[int(protoIdx)%len(shardProtocols)]
+		ddist := int(d % 16)
+		want := scribbleFingerprint(t, p, 1, seed, ddist)
+		if got := scribbleFingerprint(t, p, 4, seed, ddist); got != want {
+			t.Fatalf("seed=%d d=%d proto=%s: shards=4 fingerprint %s, want %s", seed, ddist, p, got, want)
+		}
+	})
+}

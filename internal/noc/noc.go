@@ -36,21 +36,69 @@ func DefaultConfig() Config {
 	return Config{Width: 6, Height: 4, RouterDelay: 1, LinkDelay: 1, FlitBytes: 16, HeaderBytes: 8}
 }
 
-// Network is a mesh interconnect bound to a simulation engine.
+// Lookahead returns the minimum cross-tile message latency — one router
+// traversal plus one link traversal, the cheapest possible hop. It lower-
+// bounds how far in the future any cross-tile send can take effect, which
+// is exactly the conservative window width the sharded simulator needs.
+func (cfg Config) Lookahead() sim.Cycle { return cfg.RouterDelay + cfg.LinkDelay }
+
+// Network is a mesh interconnect bound either to a single simulation
+// engine (immediate mode: every Send schedules its delivery right away) or
+// to a sharded Cluster (staged mode: cross-tile sends are queued into the
+// source tile's outbox and routed at the window-barrier merge, where the
+// shared link-arbitration state is touched single-threadedly in canonical
+// order).
 type Network struct {
 	cfg      Config
-	eng      *sim.Engine
+	eng      *sim.Engine // immediate mode only
 	handlers []Handler
 	linkFree []sim.Cycle // indexed by directed link id
 	linkBusy []sim.Cycle // cumulative flit-cycles per directed link
 	linkMsgs []uint64    // messages per directed link
-	routeBuf []int       // scratch for route(); valid until the next Send
-	meter    *energy.Meter
-	st       *stats.Stats
+	routeBuf []int       // scratch for route(); only touched single-threadedly
+
+	// Immediate mode charges meter/st directly; staged mode charges the
+	// per-tile meters for local sends and the merge-phase meter/stats for
+	// link traversals (the merged totals are identical either way).
+	meter *energy.Meter
+	st    *stats.Stats
+
+	clu        *sim.Cluster
+	tileMeters []*energy.Meter
+	tileStats  []*stats.Stats
 }
 
-// New builds a mesh network. meter and st may not be nil.
+// New builds a mesh network in immediate mode. meter and st may not be nil.
 func New(eng *sim.Engine, cfg Config, meter *energy.Meter, st *stats.Stats) *Network {
+	n := newNetwork(cfg)
+	n.eng = eng
+	n.meter = meter
+	n.st = st
+	return n
+}
+
+// NewSharded builds a mesh network in staged mode on a tile cluster. Local
+// (src == dst) sends schedule directly on the source tile's engine and
+// charge its meter; cross-tile sends are staged and routed at the window
+// merge, charging mergeMeter/mergeSt. One tile resource triple per mesh
+// node is required.
+func NewSharded(clu *sim.Cluster, cfg Config, tileMeters []*energy.Meter, tileStats []*stats.Stats, mergeMeter *energy.Meter, mergeSt *stats.Stats) *Network {
+	n := newNetwork(cfg)
+	if clu.Tiles() != n.Nodes() {
+		panic(fmt.Sprintf("noc: cluster has %d tiles for a %d-node mesh", clu.Tiles(), n.Nodes()))
+	}
+	if cfg.Lookahead() < 1 {
+		panic("noc: staged mode needs at least one cycle of hop latency for lookahead")
+	}
+	n.clu = clu
+	n.tileMeters = tileMeters
+	n.tileStats = tileStats
+	n.meter = mergeMeter
+	n.st = mergeSt
+	return n
+}
+
+func newNetwork(cfg Config) *Network {
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		panic("noc: non-positive mesh dimensions")
 	}
@@ -60,14 +108,11 @@ func New(eng *sim.Engine, cfg Config, meter *energy.Meter, st *stats.Stats) *Net
 	n := cfg.Width * cfg.Height
 	return &Network{
 		cfg:      cfg,
-		eng:      eng,
 		handlers: make([]Handler, n),
 		// 4 outgoing directions per node is an upper bound on links.
 		linkFree: make([]sim.Cycle, n*4),
 		linkBusy: make([]sim.Cycle, n*4),
 		linkMsgs: make([]uint64, n*4),
-		meter:    meter,
-		st:       st,
 	}
 }
 
@@ -114,8 +159,10 @@ func (n *Network) linkID(from NodeID, dir int) int { return int(from)*4 + dir }
 
 // route returns the XY route as a sequence of (node, direction) hops. The
 // returned slice aliases the network's scratch buffer and is only valid
-// until the next route call (the engine is single-threaded, and Send
-// consumes the route before scheduling anything).
+// until the next route call. Routing happens only where link arbitration
+// does — in immediate-mode Send (single-threaded engine) or in the staged
+// merge phase (coordinator goroutine) — so the scratch buffer needs no
+// locking.
 func (n *Network) route(src, dst NodeID) []int {
 	hops := n.routeBuf[:0] // link ids
 	x, y := n.XY(src)
@@ -144,13 +191,31 @@ func (n *Network) route(src, dst NodeID) []int {
 
 // Send injects a message of payloadBytes from src to dst and schedules its
 // delivery. Local (src == dst) messages pay one router delay and consume no
-// link bandwidth. The returned cycle is the delivery time.
+// link bandwidth. In immediate mode the returned cycle is the delivery
+// time; in staged mode a cross-tile send's delivery time is not known
+// until the window merge, so Send returns 0 for it (no production caller
+// uses the return value — the protocol reacts to deliveries, not to send
+// timestamps).
 func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle {
 	h := n.handlers[dst]
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler at node %d", dst))
 	}
 	flits := n.Flits(payloadBytes)
+	if n.clu != nil {
+		if src == dst {
+			eng := n.clu.Tile(int(src))
+			t := eng.Now() + n.cfg.RouterDelay
+			n.tileMeters[src].RouterTraversal(flits)
+			eng.AtArg(t, h, payload)
+			return t
+		}
+		// Cross-tile: stage for the window merge. The route, the link
+		// arbitration, and the destination tile's queue are all shared
+		// state that only the merge phase may touch.
+		n.clu.Stage(int(src), n.mergeSend, payload, uint64(src)|uint64(dst)<<16|uint64(flits)<<32)
+		return 0
+	}
 	t := n.eng.Now()
 	if src == dst {
 		t += n.cfg.RouterDelay
@@ -158,6 +223,16 @@ func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle
 		n.eng.AtArg(t, h, payload)
 		return t
 	}
+	t = n.deliverAt(src, dst, flits, t)
+	n.eng.AtArg(t, h, payload)
+	return t
+}
+
+// deliverAt routes a cross-tile message injected at cycle t, updating the
+// link-arbitration state and charging the network meter/stats, and returns
+// the delivery cycle. Shared with the staged merge path so both modes
+// price messages identically.
+func (n *Network) deliverAt(src, dst NodeID, flits int, t sim.Cycle) sim.Cycle {
 	for _, link := range n.route(src, dst) {
 		depart := t
 		if n.linkFree[link] > depart {
@@ -173,9 +248,20 @@ func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle
 		n.st.FlitHops += uint64(flits)
 	}
 	// Tail flit arrives flits-1 cycles after the head.
-	t += sim.Cycle(flits - 1)
-	n.eng.AtArg(t, h, payload)
-	return t
+	return t + sim.Cycle(flits-1)
+}
+
+// mergeSend is the staged-mode merge handler for one cross-tile message:
+// it routes the message from its staged injection cycle and schedules the
+// delivery on the destination tile. The delivery cycle is provably at or
+// beyond the merge horizon: t ≥ at + RouterDelay + LinkDelay ≥ at +
+// lookahead, and at lies inside the window just drained.
+func (n *Network) mergeSend(at sim.Cycle, payload any, aux uint64) {
+	src := NodeID(aux & 0xffff)
+	dst := NodeID(aux >> 16 & 0xffff)
+	flits := int(aux >> 32)
+	t := n.deliverAt(src, dst, flits, at)
+	n.clu.Tile(int(dst)).AtArg(t, n.handlers[dst], payload)
 }
 
 // LinkUtil describes one directed mesh link's traffic over a run.

@@ -1,0 +1,447 @@
+// Cluster shards the discrete-event engine by mesh tile for conservative
+// parallel simulation.
+//
+// Each tile owns a private Engine (PR 4's 256-slot timing wheel + overflow
+// heap + free list) and fires only its own events. Time advances in
+// lockstep windows of width = the cluster lookahead, the minimum cross-tile
+// message latency: within a window [W, W+L) a tile may schedule freely into
+// itself, but every cross-tile effect is *staged* into the source tile's
+// outbox instead of being applied immediately. At the window barrier the
+// coordinator merges all outboxes in a fixed (at, source tile, staging
+// index) order and applies them, scheduling their consequences at cycles
+// ≥ W+L — never inside the window just drained. Because no tile can
+// observe another tile's activity except through staged effects, and the
+// merge order is a pure function of simulated time, the global firing
+// order is identical whether the tiles of a window are drained by one
+// goroutine or by S shard workers: shard count changes wall-clock time
+// only, never a single simulated byte. See DESIGN.md §12 for the lookahead
+// proof sketch and the merge-order argument.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// StagedHandler is a cross-tile effect applied during the window-barrier
+// merge phase. at is the cycle the effect was staged (the source tile's
+// clock at staging time); arg and aux ride along uninterpreted. Handlers
+// run on the coordinator goroutine with every tile quiescent, so they may
+// touch any tile, but anything they schedule must land at or after the
+// merge horizon (Cluster.Horizon) — the cycle the next window starts.
+type StagedHandler func(at Cycle, arg any, aux uint64)
+
+// staged is one queued cross-tile effect. Per-tile outboxes are appended
+// in firing order, so each is already sorted by at; the merge is a K-way
+// scan over outbox heads.
+type staged struct {
+	at  Cycle
+	h   StagedHandler
+	arg any
+	aux uint64
+}
+
+// Cluster is a set of per-tile Engines advancing in lockstep lookahead
+// windows. Shards sets only the number of worker goroutines that drain
+// tiles during a window — the simulated schedule is shard-count-invariant
+// by construction.
+type Cluster struct {
+	tiles     []*Engine
+	lookahead Cycle
+	shards    int
+	base      Cycle // start of the next window (multiple of lookahead)
+	horizon   Cycle // end of the window being merged; 0 outside merge
+
+	outbox  [][]staged   // per-source-tile staging buffers
+	oidx    []int        // merge read cursors, one per outbox
+	nstaged atomic.Int64 // effects staged in the current window (workers race on it)
+	live    []int32      // merge scratch: tiles with unconsumed staged effects
+
+	// next caches each tile's next pending event cycle (nextNone = empty
+	// queue) so idle tiles are skipped without rescanning their wheels.
+	// Entries stay valid between merges because only a tile's own drain
+	// mutates its queue; nextValid goes false whenever events may have been
+	// scheduled outside a drain (merge handlers, inter-run scheduling).
+	// pmin[s] is shard s's partition minimum over next, folded with the
+	// merge minima into minCache so the per-window global minimum costs
+	// O(shards) instead of an O(tiles) rescan.
+	next      []Cycle
+	pmin      []Cycle
+	minCache  Cycle
+	nextValid bool
+
+	// Shard worker pool, live only inside RunUntil/Drain (persistent
+	// goroutines would outlive the owning machine: tests build thousands).
+	starts  []chan Cycle // per-shard window-start signal carrying the drain deadline
+	dones   chan struct{}
+	panics  []any // per-shard recovered panic, re-raised by the coordinator
+	running bool
+}
+
+// NewCluster builds a cluster of tiles zero-valued Engines advancing in
+// windows of the given lookahead. shards is clamped to [1, tiles]; 1 means
+// the caller's goroutine drains every tile itself.
+func NewCluster(tiles int, lookahead Cycle, shards int) *Cluster {
+	if tiles <= 0 {
+		panic("sim: cluster needs at least one tile")
+	}
+	if lookahead < 1 {
+		panic("sim: cluster lookahead must be at least one cycle")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > tiles {
+		shards = tiles
+	}
+	c := &Cluster{
+		tiles:     make([]*Engine, tiles),
+		lookahead: lookahead,
+		shards:    shards,
+		outbox:    make([][]staged, tiles),
+		oidx:      make([]int, tiles),
+		live:      make([]int32, 0, tiles),
+		next:      make([]Cycle, tiles),
+		pmin:      make([]Cycle, shards),
+	}
+	for i := range c.tiles {
+		e := &Engine{minSched: noMinSched}
+		e.SetLabel(fmt.Sprintf("tile %d (shard %d of %d)", i, i%shards, shards))
+		c.tiles[i] = e
+	}
+	return c
+}
+
+// Tiles returns the tile count.
+func (c *Cluster) Tiles() int { return len(c.tiles) }
+
+// Shards returns the worker-goroutine count windows are drained with.
+func (c *Cluster) Shards() int { return c.shards }
+
+// Lookahead returns the window width in cycles.
+func (c *Cluster) Lookahead() Cycle { return c.lookahead }
+
+// Tile returns tile i's engine. Components bound to tile i schedule
+// tile-local work on it directly.
+func (c *Cluster) Tile(i int) *Engine { return c.tiles[i] }
+
+// Now returns the current simulated cycle. All tiles share one clock at
+// window boundaries; between boundaries only the draining workers see
+// intermediate values.
+func (c *Cluster) Now() Cycle {
+	if n := c.tiles[0].Now(); n > c.base {
+		return n
+	}
+	return c.base
+}
+
+// Horizon returns the cycle the next window starts at. It is only
+// meaningful inside a merge phase, where staged handlers use it to place
+// follow-up events on the first legal cycle.
+func (c *Cluster) Horizon() Cycle { return c.horizon }
+
+// Fired returns the total events fired across all tiles.
+func (c *Cluster) Fired() uint64 {
+	var n uint64
+	for _, t := range c.tiles {
+		n += t.Fired()
+	}
+	return n
+}
+
+// Pending returns the number of scheduled-but-unfired events across all
+// tiles. Staged effects are always empty at window boundaries, so they do
+// not contribute.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, t := range c.tiles {
+		n += t.Pending()
+	}
+	return n
+}
+
+// Stage queues a cross-tile effect from the given source tile, stamped
+// with the tile's current cycle. It must be called from code running on
+// that tile (during a window drain); the handler runs at the next window
+// barrier. Staging from a merge handler is a protocol violation — the
+// window it would belong to has already been merged.
+func (c *Cluster) Stage(tile int, h StagedHandler, arg any, aux uint64) {
+	if c.horizon != 0 {
+		panic("sim: Stage called during a window merge")
+	}
+	c.outbox[tile] = append(c.outbox[tile], staged{at: c.tiles[tile].Now(), h: h, arg: arg, aux: aux})
+	c.nstaged.Add(1)
+}
+
+// nextNone marks an empty tile queue in the next-cycle cache.
+const nextNone = ^Cycle(0)
+
+// minNext returns the earliest pending event cycle across tiles. Between
+// windows the value is the cached fold of the drain-phase partition minima
+// and the merge-phase scheduling minima; a full rescan happens only when
+// events may have been scheduled outside a drain.
+func (c *Cluster) minNext() (Cycle, bool) {
+	if !c.nextValid {
+		min := nextNone
+		for i, t := range c.tiles {
+			if at, has := t.NextAt(); has {
+				c.next[i] = at
+				if at < min {
+					min = at
+				}
+			} else {
+				c.next[i] = nextNone
+			}
+			t.minSched = noMinSched // the rescan is exact; drop stale tracking
+		}
+		c.minCache = min
+		c.nextValid = true
+	}
+	return c.minCache, c.minCache != nextNone
+}
+
+// window drains and merges one lookahead window, skipping ahead over empty
+// windows. It reports whether any event was pending (false = fully idle,
+// nothing fired, nothing merged).
+func (c *Cluster) window() bool {
+	min, ok := c.minNext()
+	if !ok {
+		return false
+	}
+	if min >= c.base+c.lookahead {
+		// Skip empty windows: jump to the grid-aligned window containing
+		// the earliest event. The grid is anchored at cycle 0 in multiples
+		// of the lookahead, so the jump target — like everything else —
+		// is independent of the shard count.
+		c.base = min / c.lookahead * c.lookahead
+	}
+	end := c.base + c.lookahead
+	c.drainWave(end - 1)
+	// Fold the per-shard partition minima the drain just computed; entries
+	// beyond pmin[0] exist only when the worker pool is running.
+	nmin := c.pmin[0]
+	for _, m := range c.pmin[1:c.shards] {
+		if m < nmin {
+			nmin = m
+		}
+	}
+	if c.nstaged.Load() > 0 {
+		c.merge(end)
+		// Merge handlers schedule onto arbitrary tiles (including skipped
+		// ones). Each tile tracked the lowest cycle scheduled on it, so the
+		// cache is repaired with one compare per tile instead of a wheel
+		// rescan: the post-merge minimum is min(pre-merge next, lowest
+		// merged-in cycle).
+		for i, t := range c.tiles {
+			m := t.takeMinSched()
+			if m < c.next[i] {
+				c.next[i] = m
+			}
+			if m < nmin {
+				nmin = m
+			}
+		}
+	}
+	c.minCache = nmin
+	c.base = end
+	return true
+}
+
+// drainWave advances every tile with work due to the deadline (firing all
+// events at or before it), in parallel when shard workers are running. Tiles
+// whose cached next event lies past the deadline are skipped entirely —
+// their clocks lag behind, which is safe: a tile's clock only gates its own
+// scheduling (monotonic, so the wheel/overflow pop-order invariants hold),
+// and every cross-tile effect lands at an absolute cycle ≥ the merge
+// horizon. A panic on any worker is re-raised here on the coordinator once
+// the wave completes, so model violations surface on the goroutine that
+// called Run.
+func (c *Cluster) drainWave(deadline Cycle) {
+	if !c.running {
+		c.drainTiles(0, 1, deadline)
+		return
+	}
+	for s := 0; s < c.shards; s++ {
+		c.starts[s] <- deadline
+	}
+	var rethrow any
+	for s := 0; s < c.shards; s++ {
+		<-c.dones
+	}
+	for s := range c.panics {
+		if c.panics[s] != nil {
+			rethrow = c.panics[s]
+			c.panics[s] = nil
+		}
+	}
+	if rethrow != nil {
+		panic(rethrow)
+	}
+}
+
+// merge applies all staged cross-tile effects in (at, source tile, staging
+// index) order. Per-tile outboxes are at-sorted by construction, so a
+// K-way head scan with the tie going to the lowest tile index yields the
+// canonical order. end is the next window start, published as Horizon for
+// the handlers.
+func (c *Cluster) merge(end Cycle) {
+	c.horizon = end
+	// Collect the tiles that actually staged anything; the head scan then
+	// touches only live outboxes instead of all of them per pop. The list
+	// stays in ascending tile order (removal shifts, never swaps), which is
+	// what makes the lowest-tile tie-break fall out of a strict < scan.
+	live := c.live[:0]
+	for ti := range c.outbox {
+		if len(c.outbox[ti]) > 0 {
+			live = append(live, int32(ti))
+		}
+	}
+	for len(live) > 0 {
+		best := 0
+		bestAt := c.outbox[live[0]][c.oidx[live[0]]].at
+		for li := 1; li < len(live); li++ {
+			if at := c.outbox[live[li]][c.oidx[live[li]]].at; at < bestAt {
+				best, bestAt = li, at
+			}
+		}
+		ti := live[best]
+		s := &c.outbox[ti][c.oidx[ti]]
+		c.oidx[ti]++
+		if c.oidx[ti] == len(c.outbox[ti]) {
+			live = append(live[:best], live[best+1:]...)
+		}
+		h, at, arg, aux := s.h, s.at, s.arg, s.aux
+		s.h, s.arg = nil, nil // release references; the buffer is reused
+		h(at, arg, aux)
+	}
+	c.live = live
+	for ti := range c.outbox {
+		if len(c.outbox[ti]) > 0 {
+			c.outbox[ti] = c.outbox[ti][:0]
+			c.oidx[ti] = 0
+		}
+	}
+	c.nstaged.Store(0)
+	c.horizon = 0
+}
+
+// drainTiles drains tiles s, s+stride, s+2*stride, … to the deadline,
+// consulting and updating the next-event cache. The strided partition means
+// concurrent workers touch disjoint cache entries; each records its
+// partition's post-drain minimum in pmin[s] (skipped tiles included) so the
+// coordinator folds shard minima instead of rescanning every tile.
+func (c *Cluster) drainTiles(s, stride int, deadline Cycle) {
+	min := nextNone
+	for ti := s; ti < len(c.tiles); ti += stride {
+		if n := c.next[ti]; n > deadline {
+			if n < min {
+				min = n
+			}
+			continue
+		}
+		t := c.tiles[ti]
+		if at, ok := t.runTo(deadline); ok {
+			c.next[ti] = at
+			if at < min {
+				min = at
+			}
+		} else {
+			c.next[ti] = nextNone
+		}
+		// Cycles the drain scheduled into this tile are captured exactly by
+		// runTo's return; re-arm the tracker so it reports only merge-phase
+		// scheduling.
+		t.minSched = noMinSched
+	}
+	c.pmin[s] = min
+}
+
+// worker is one shard's drain loop: tiles are statically partitioned
+// round-robin by index, so tile→shard ownership never changes. The channels
+// and panic slot are passed in rather than read off the Cluster, so a worker
+// scheduled late never races stopWorkers replacing the per-run fields.
+func (c *Cluster) worker(s int, start <-chan Cycle, dones chan<- struct{}, panics []any) {
+	for deadline := range start {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[s] = r
+				}
+				dones <- struct{}{}
+			}()
+			c.drainTiles(s, c.shards, deadline)
+		}()
+	}
+}
+
+// startWorkers spins up the shard pool for a run. No-op when shards == 1.
+func (c *Cluster) startWorkers() {
+	if c.shards <= 1 || c.running {
+		return
+	}
+	c.starts = make([]chan Cycle, c.shards)
+	c.dones = make(chan struct{}, c.shards)
+	c.panics = make([]any, c.shards)
+	for s := 0; s < c.shards; s++ {
+		c.starts[s] = make(chan Cycle)
+		go c.worker(s, c.starts[s], c.dones, c.panics)
+	}
+	c.running = true
+}
+
+// stopWorkers shuts the shard pool down so no goroutines outlive the run.
+func (c *Cluster) stopWorkers() {
+	if !c.running {
+		return
+	}
+	for s := range c.starts {
+		close(c.starts[s])
+	}
+	c.starts = nil
+	c.running = false
+}
+
+// Align advances every tile's clock to the start of the next window, so
+// that work scheduled between runs (machine kickoff events, post-run
+// probes) lands on the window grid. Call only when all queues are empty —
+// typically right after a successful Drain.
+func (c *Cluster) Align() {
+	for _, t := range c.tiles {
+		t.RunTo(c.base)
+	}
+	c.nextValid = false
+}
+
+// RunUntil advances windows until the predicate holds or every tile
+// drains. The predicate is evaluated at window barriers (after the merge),
+// the only points where cross-tile state is coherent. It returns true if
+// the predicate was satisfied.
+func (c *Cluster) RunUntil(done func() bool) bool {
+	c.nextValid = false // events may have been scheduled since the last run
+	c.startWorkers()
+	defer c.stopWorkers()
+	for !done() {
+		if !c.window() {
+			return done()
+		}
+	}
+	return true
+}
+
+// Drain runs windows until every tile's queue is empty, with a safety
+// limit on the number of events fired to guard against livelock in a
+// buggy model. It returns the events fired and whether it fully drained.
+func (c *Cluster) Drain(limit uint64) (fired uint64, drained bool) {
+	c.nextValid = false // events may have been scheduled since the last run
+	c.startWorkers()
+	defer c.stopWorkers()
+	start := c.Fired()
+	for {
+		if !c.window() {
+			return c.Fired() - start, true
+		}
+		if f := c.Fired() - start; f > limit {
+			return f, false
+		}
+	}
+}

@@ -65,6 +65,7 @@ type Engine struct {
 	now   Cycle
 	seq   uint64
 	fired uint64
+	label string // identifies this engine (tile/shard) in panic messages
 
 	slots      [wheelSize]bucket
 	occ        [wheelWords]uint64 // occupancy bitmap over slots
@@ -72,10 +73,36 @@ type Engine struct {
 
 	overflow []*event // min-heap on (at, seq)
 	free     *event   // intrusive free list of recycled records
+
+	// minSched is the lowest cycle scheduled since the last takeMinSched
+	// (noMinSched when none). The cluster's window scheduler uses it to
+	// update its per-tile next-event cache after a merge without rescanning
+	// the wheel: merge handlers run while the tile is quiescent, so any
+	// cycle they schedule is captured here.
+	minSched Cycle
+}
+
+// noMinSched is minSched's "nothing scheduled" sentinel: the maximum
+// cycle, unreachable by real events. NewCluster arms each tile with it; a
+// standalone zero-valued Engine leaves minSched at 0, which is harmless
+// because only the cluster reads the tracker.
+const noMinSched = ^Cycle(0)
+
+// takeMinSched returns the lowest cycle scheduled since the previous call
+// (or noMinSched) and resets the tracker.
+func (e *Engine) takeMinSched() Cycle {
+	m := e.minSched
+	e.minSched = noMinSched
+	return m
 }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// SetLabel attaches an identifying label (for example "tile 7") that is
+// included in scheduling-error panics, so a violation inside a sharded run
+// names the engine it occurred on.
+func (e *Engine) SetLabel(label string) { e.label = label }
 
 // Fired returns the total number of events fired since construction (the
 // denominator of the events/sec throughput metric).
@@ -106,9 +133,16 @@ func (e *Engine) recycle(ev *event) {
 // schedule allocates, stamps, and enqueues a record for cycle at.
 func (e *Engine) schedule(at Cycle) *event {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (event at cycle %d, now cycle %d)", at, e.now))
+		where := ""
+		if e.label != "" {
+			where = " on " + e.label
+		}
+		panic(fmt.Sprintf("sim: event scheduled in the past%s (event at cycle %d, now cycle %d)", where, at, e.now))
 	}
 	e.seq++
+	if at < e.minSched {
+		e.minSched = at
+	}
 	ev := e.alloc()
 	ev.at = at
 	ev.seq = e.seq
@@ -177,8 +211,9 @@ func (e *Engine) nextWheel() (Cycle, int, bool) {
 	panic("sim: wheel count/bitmap mismatch")
 }
 
-// nextAt peeks the cycle of the next event to fire.
-func (e *Engine) nextAt() (Cycle, bool) {
+// NextAt peeks the cycle of the next event to fire without firing it. The
+// window scheduler in Cluster uses it to skip empty lookahead windows.
+func (e *Engine) NextAt() (Cycle, bool) {
 	wAt, _, wOk := e.nextWheel()
 	if len(e.overflow) > 0 && (!wOk || e.overflow[0].at <= wAt) {
 		return e.overflow[0].at, true
@@ -232,16 +267,77 @@ func (e *Engine) Step() bool {
 // the clock to deadline. Events scheduled later stay queued. Use this to
 // let in-flight activity settle for a bounded window without chasing
 // periodic self-rescheduling events.
-func (e *Engine) RunTo(deadline Cycle) {
+func (e *Engine) RunTo(deadline Cycle) { e.runTo(deadline) }
+
+// runTo is RunTo fused with the follow-up NextAt: it fires every event at
+// or before deadline with a single queue scan per event (Step via NextAt
+// would scan twice), advances the clock to deadline, and returns the cycle
+// of the next pending event. The window scheduler in Cluster drains every
+// tile of a window through this, caching the returned cycle so idle tiles
+// are skipped without rescanning their queues.
+func (e *Engine) runTo(deadline Cycle) (next Cycle, ok bool) {
 	for {
-		at, ok := e.nextAt()
-		if !ok || at > deadline {
-			break
+		wAt, wSlot, wOk := e.nextWheel()
+		var at Cycle
+		fromOverflow := false
+		switch {
+		case len(e.overflow) > 0 && (!wOk || e.overflow[0].at <= wAt):
+			at, fromOverflow = e.overflow[0].at, true
+		case wOk:
+			at = wAt
+		default:
+			if deadline > e.now {
+				e.now = deadline
+			}
+			return 0, false
 		}
-		e.Step()
-	}
-	if deadline > e.now {
-		e.now = deadline
+		if at > deadline {
+			if deadline > e.now {
+				e.now = deadline
+			}
+			return at, true
+		}
+		if fromOverflow {
+			ev := e.popOverflow()
+			e.now = ev.at
+			e.fired++
+			fn, h, arg := ev.fn, ev.h, ev.arg
+			e.recycle(ev)
+			if fn != nil {
+				fn()
+			} else {
+				h(arg)
+			}
+			continue
+		}
+		// Fire the slot's whole bucket without rescanning: within the
+		// horizon exactly one cycle maps to each slot, so every event here
+		// — including ones a callback appends mid-loop — is at cycle at,
+		// and the overflow tier cannot interleave (overflow events are
+		// strictly later: ties were drained above, and a callback can push
+		// overflow events only at or beyond now+wheelSize).
+		b := &e.slots[wSlot]
+		for {
+			ev := b.head
+			b.head = ev.next
+			if b.head == nil {
+				b.tail = nil
+				e.occ[wSlot>>6] &^= 1 << (wSlot & 63)
+			}
+			e.wheelCount--
+			e.now = ev.at
+			e.fired++
+			fn, h, arg := ev.fn, ev.h, ev.arg
+			e.recycle(ev)
+			if fn != nil {
+				fn()
+			} else {
+				h(arg)
+			}
+			if b.head == nil {
+				break
+			}
+		}
 	}
 }
 

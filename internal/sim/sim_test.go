@@ -373,3 +373,61 @@ func TestEngineRecycleStress(t *testing.T) {
 		t.Fatalf("Fired() = %d, want %d", e.Fired(), fired)
 	}
 }
+
+// TestEngineScheduleAtNowAtWheelWrap pins the same-cycle scheduling
+// boundary at a wheel-slot wrap: a callback firing at a cycle whose slot
+// index has wrapped (at % wheelSize == slot being drained, at >= wheelSize)
+// must be able to schedule more work for the current cycle, and that work
+// fires in the same cycle in insertion order — not a wheel revolution
+// later, and without tripping the past-schedule panic.
+func TestEngineScheduleAtNowAtWheelWrap(t *testing.T) {
+	// Cover the wrap seam itself (slot 0 on its second revolution), the
+	// last slot before the seam, and a mid-wheel slot two revolutions out.
+	for _, at := range []Cycle{wheelSize, 2*wheelSize - 1, 2*wheelSize + 37} {
+		var e Engine
+		var got []Cycle
+		e.At(at, func() {
+			e.At(e.Now(), func() {
+				got = append(got, e.Now())
+				// Chain once more from the nested event: still same cycle.
+				e.At(e.Now(), func() { got = append(got, e.Now()) })
+			})
+		})
+		if _, drained := e.Drain(1000); !drained {
+			t.Fatalf("at=%d: did not drain", at)
+		}
+		if len(got) != 2 || got[0] != at || got[1] != at {
+			t.Fatalf("at=%d: nested events fired at %v, want [%d %d]", at, got, at, at)
+		}
+		if e.Now() != at {
+			t.Fatalf("at=%d: Now = %d", at, e.Now())
+		}
+	}
+}
+
+// TestEnginePastPanicNamesShard pins that a labeled engine's past-schedule
+// panic names the scheduling tile and shard — in a sharded run the label is
+// the only way to tell which worker misbehaved.
+func TestEnginePastPanicNamesShard(t *testing.T) {
+	c := NewCluster(4, 2, 2)
+	e := c.Tile(3)
+	e.At(9, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("scheduling in the past did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value %T, want string", r)
+			}
+			for _, want := range []string{"tile 3", "shard 1 of 2", "cycle 2", "cycle 9"} {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("panic %q missing %q", msg, want)
+				}
+			}
+		}()
+		e.At(2, func() {})
+	})
+	e.Drain(10)
+}
