@@ -14,15 +14,23 @@
 // Workers lease batches of cells (POST /v1/claim), renew mid-simulation
 // (POST /v1/heartbeat), and complete by the idempotent PUT /v1/cell/<key>.
 // A reaper returns expired leases to the queue, so cells held by a crashed
-// or partitioned worker are re-dispatched automatically; the dispatcher
-// itself is rebuilt after a restart by simply resubmitting the manifest
-// (already-stored cells are skipped).
+// or partitioned worker are re-dispatched automatically.
+//
+// The dispatcher's lease table is journaled to a write-ahead log (-wal,
+// default <dir>/wal) and fsynced on every acknowledged submission, claim,
+// and completion, so a killed server recovers its mid-sweep state on the
+// next boot — no manifest resubmission, no lost completions, no cell
+// double-dispatched inside its lease. -wal off reverts to memory-only
+// dispatch (restart recovery then goes through resubmitting the manifest;
+// already-stored cells are skipped).
 //
 // Endpoints: GET/PUT /v1/cell/<key>, POST /v1/sweep, POST /v1/claim,
 // POST /v1/heartbeat, GET /v1/sweep, GET /v1/stats, GET /healthz.
 //
-// SIGINT/SIGTERM drain in-flight requests (bounded by -drain) before the
-// process exits, so a rolling restart never truncates a PUT body mid-write.
+// SIGINT/SIGTERM flip the drain gate — new submissions and claims get 503
+// + Retry-After, /healthz turns unhealthy so failover clients elect a
+// standby — then in-flight requests finish (bounded by -drain) and the WAL
+// is flushed and fsynced before the process exits.
 package main
 
 import (
@@ -34,16 +42,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ghostwriter/internal/harness"
 )
 
+// main delegates to realMain so the deferred WAL flush-and-close runs on
+// every exit path before the process status is decided.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		addr     = flag.String("addr", ":8344", "listen address")
 		dir      = flag.String("dir", harness.DefaultCacheDir, "cache data directory")
+		walDir   = flag.String("wal", "", `write-ahead-log directory for crash-safe dispatch state (default "<dir>/wal"; "off" disables durability)`)
 		leaseTTL = flag.Duration("lease-ttl", harness.DefaultLeaseTTL, "work-dispatch lease duration (heartbeats renew it)")
 		reap     = flag.Duration("reap", 5*time.Second, "expired-lease reaper period")
 		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout for in-flight requests")
@@ -53,10 +69,46 @@ func main() {
 	cache, err := harness.OpenCache(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gwcached:", err)
-		os.Exit(1)
+		return 1
 	}
-	disp := harness.NewDispatcher(*leaseTTL)
-	h := harness.NewDispatchServer(cache, disp)
+	gate := &harness.DrainGate{}
+	cfg := harness.ServerConfig{Backend: cache, Gate: gate}
+	var disp *harness.Dispatcher
+	if *walDir == "off" {
+		// Memory-only dispatch: a restart loses the lease table and the
+		// operator resubmits the manifest (cells already stored are skipped).
+		disp = harness.NewDispatcher(*leaseTTL)
+		cfg.Dispatcher = disp
+	} else {
+		wd := *walDir
+		if wd == "" {
+			wd = filepath.Join(cache.Dir(), "wal")
+		}
+		cached := func(key string) bool {
+			_, ok := cache.Get(key)
+			return ok
+		}
+		dd, stats, err := harness.OpenDurableDispatcher(wd, *leaseTTL, nil, cached)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gwcached: WAL recovery:", err)
+			return 1
+		}
+		if stats.Cells > 0 || stats.TornBytes > 0 {
+			log.Printf("gwcached: recovered %d cell(s) from WAL (%d pending, %d leased, %d done; %d record(s), %d snapshot cell(s), %d backfilled, %d torn byte(s) discarded)",
+				stats.Cells, stats.Pending, stats.Leased, stats.Done,
+				stats.Records, stats.SnapshotCells, stats.Backfilled, stats.TornBytes)
+		}
+		cfg.Durable = dd
+		disp = dd.Dispatcher
+		// Flush and close the journal after the drain, so the last in-flight
+		// completions are durable before the process exits.
+		defer func() {
+			if err := dd.Close(); err != nil {
+				log.Printf("gwcached: WAL close: %v", err)
+			}
+		}()
+	}
+	h := harness.NewServer(cfg)
 	if !*quiet {
 		h = logRequests(h)
 	}
@@ -94,9 +146,14 @@ func main() {
 	case err := <-errc:
 		// The listener failed outright (port in use, permission); Shutdown
 		// never ran, so ErrServerClosed cannot arrive on this path.
-		log.Fatal("gwcached: ", err)
+		log.Printf("gwcached: %v", err)
+		return 1
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
+		// Refuse new submissions and claims (503 + Retry-After) while the
+		// in-flight requests — completions above all — land and are
+		// journaled; the deferred WAL close then fsyncs the tail.
+		gate.Drain()
 		log.Printf("gwcached: signal received; draining for up to %s", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
@@ -105,10 +162,12 @@ func main() {
 			srv.Close()
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal("gwcached: ", err)
+			log.Printf("gwcached: %v", err)
+			return 1
 		}
 		log.Printf("gwcached: stopped")
 	}
+	return 0
 }
 
 // statusRecorder captures the response code for the request log.

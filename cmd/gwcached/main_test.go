@@ -247,3 +247,105 @@ func TestServerDispatchProtocol(t *testing.T) {
 		t.Fatalf("status = %+v, %v; want 1 done / 1 leased of %d", st, err, len(manifest))
 	}
 }
+
+// TestServerDurableRecoveryAcrossRestart exercises the wiring the binary
+// boots with -wal: a WAL-backed dispatcher whose process dies mid-sweep
+// (server gone, journal never closed) and a replacement that recovers the
+// lease table from the same directory — submissions, leases, and
+// completions all intact, the acknowledged completion never re-dispatched.
+func TestServerDurableRecoveryAcrossRestart(t *testing.T) {
+	cacheDir, walDir := t.TempDir(), t.TempDir()
+	cache, err := harness.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := func(key string) bool {
+		_, ok := cache.Get(key)
+		return ok
+	}
+	dd, _, err := harness.OpenDurableDispatcher(walDir, harness.DefaultLeaseTTL, nil, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &harness.DrainGate{}
+	ts := httptest.NewServer(logRequests(harness.NewServer(harness.ServerConfig{
+		Backend: cache, Durable: dd, Gate: gate,
+	})))
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(io.Discard)
+	rc, err := harness.NewRemoteCache(harness.RemoteConfig{URL: ts.URL, Log: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	manifest, err := harness.Manifest("fig1", harness.Options{Scale: 1, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.SubmitSweep(manifest); err != nil {
+		t.Fatal(err)
+	}
+	claim, err := rc.ClaimWork("w1", 2)
+	if err != nil || len(claim.Items) != 2 {
+		t.Fatalf("claim = %+v, %v", claim, err)
+	}
+	done := claim.Items[0]
+	res := harness.RunResult{App: done.Spec.App, Cycles: 1}
+	if err := rc.CompleteWork(done.Key, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill: the server vanishes without closing its journal. Everything
+	// acknowledged above was fsynced per request.
+	ts.CloseClientConnections()
+	ts.Close()
+
+	cache2, err := harness.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached2 := func(key string) bool {
+		_, ok := cache2.Get(key)
+		return ok
+	}
+	dd2, stats, err := harness.OpenDurableDispatcher(walDir, harness.DefaultLeaseTTL, nil, cached2)
+	if err != nil {
+		t.Fatalf("WAL recovery: %v", err)
+	}
+	defer dd2.Close()
+	if stats.Cells != len(manifest) || stats.Done != 1 || stats.Leased != 1 {
+		t.Fatalf("recovery stats %+v, want %d cells / 1 done / 1 leased", stats, len(manifest))
+	}
+	ts2 := httptest.NewServer(harness.NewServer(harness.ServerConfig{Backend: cache2, Durable: dd2}))
+	defer ts2.Close()
+	rc2, err := harness.NewRemoteCache(harness.RemoteConfig{URL: ts2.URL, Log: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	st, err := rc2.SweepStatus()
+	if err != nil || st.Done != 1 || st.Leased != 1 || st.Total != len(manifest) {
+		t.Fatalf("recovered status = %+v, %v; want 1 done / 1 leased of %d", st, err, len(manifest))
+	}
+	// The survivor's lease is honoured: w1 still holds its second cell.
+	hb, err := rc2.HeartbeatWork("w1", []string{claim.Items[1].Key})
+	if err != nil || len(hb.Renewed) != 1 {
+		t.Fatalf("heartbeat after recovery = %+v, %v; want the lease renewed", hb, err)
+	}
+	// And the completed cell is never handed out again.
+	for {
+		c, err := rc2.ClaimWork("w2", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Items) == 0 {
+			break
+		}
+		for _, it := range c.Items {
+			if it.Key == done.Key {
+				t.Fatalf("completed cell %s re-dispatched after recovery", it.Key)
+			}
+		}
+	}
+}

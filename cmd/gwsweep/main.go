@@ -42,6 +42,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,7 +67,7 @@ func realMain() int {
 		shards   = flag.String("shards", "auto", "shard workers per simulated machine: a count, or auto = all host CPUs (results are identical for every value)")
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result cache")
-		remote   = flag.String("remote", "", "base URL of a shared gwcached result cache (e.g. http://cachehost:8344)")
+		remote   = flag.String("remote", "", "comma-separated gwcached base URLs in preference order (e.g. http://primary:8344,http://standby:8344); the client fails over and readopts automatically")
 		submit   = flag.Bool("submit", false, "post the -exp grid manifest to -remote for fleet dispatch")
 		worker   = flag.Bool("worker", false, "run as a fleet worker: claim cells from -remote, simulate, publish")
 		batch    = flag.Int("batch", 4, "cells per claim in -worker mode")
@@ -115,12 +116,13 @@ func realMain() int {
 	}
 	var rc *harness.RemoteCache
 	if *remote != "" {
-		c, err := harness.NewRemoteCache(harness.RemoteConfig{URL: *remote})
+		c, err := harness.NewRemoteCache(harness.RemoteConfig{URLs: splitURLs(*remote)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gwsweep:", err)
 			return 2
 		}
 		rc = c
+		defer rc.Close()
 	}
 	if *submit || *worker {
 		if rc == nil {
@@ -359,6 +361,18 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 // host CPU (the simulated schedule is shard-count-invariant, so auto never
 // changes results, only wall-clock). Explicit counts must be positive; the
 // machine clamps them to the tile count.
+// splitURLs parses the -remote flag: comma-separated server URLs in
+// preference order, blanks dropped.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
 func parseShards(s string) (int, error) {
 	if s == "auto" {
 		return runtime.GOMAXPROCS(0), nil

@@ -1,0 +1,230 @@
+// Package fault is a deterministic fault-injection layer for the durable
+// gwcached stack. Production code threads an *Injector (usually nil) through
+// its file and HTTP operations and consults it at named points; tests arm
+// the injector with an explicit rule list — or a seeded Schedule — and the
+// same rules always fire at the same operations, so a chaos scenario is a
+// reproducible script instead of a timing race.
+//
+// Every method is safe on a nil *Injector and does nothing, so call sites
+// need no guards and the production path costs one nil check.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the failure returned by a Fail or ShortWrite rule.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrCrashed is returned by a Crash rule and by every operation after it:
+// once the injector has "crashed", the component it gates is dead until the
+// test rebuilds it — the in-process analogue of kill -9.
+var ErrCrashed = errors.New("fault: injected crash")
+
+// Kind selects what a matching rule does to the operation.
+type Kind uint8
+
+const (
+	// Fail makes the operation return ErrInjected once.
+	Fail Kind = iota
+	// ShortWrite lets only Bytes bytes of a write through, then fails with
+	// ErrInjected — a torn tail on disk, exactly what a power cut leaves.
+	ShortWrite
+	// Crash fails the operation with ErrCrashed and latches the injector:
+	// every later operation at every point also fails with ErrCrashed.
+	Crash
+	// Truncate cuts an HTTP response body after Bytes bytes (consulted via
+	// ResponseLimit; it does not fail the operation itself).
+	Truncate
+	// Delay sleeps Latency before letting the operation proceed.
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case ShortWrite:
+		return "short-write"
+	case Crash:
+		return "crash"
+	case Truncate:
+		return "truncate"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule arms one fault: at the N'th operation on Point, do Kind. The first
+// matching rule wins when several cover the same operation.
+type Rule struct {
+	// Point names the instrumented operation, e.g. "wal.append", "wal.sync",
+	// "http.request", "http.response".
+	Point string
+	// N is the 1-based operation index at Point the rule fires on; 0 fires
+	// on every operation.
+	N uint64
+	// Kind is the fault to inject.
+	Kind Kind
+	// Bytes parameterizes ShortWrite (bytes let through) and Truncate
+	// (response bytes let through).
+	Bytes int
+	// Latency parameterizes Delay.
+	Latency time.Duration
+}
+
+// Injector matches operations against its rules. Safe for concurrent use;
+// a nil *Injector is inert.
+type Injector struct {
+	mu      sync.Mutex
+	counts  map[string]uint64
+	rules   []Rule
+	crashed bool
+}
+
+// New returns an injector armed with rules (possibly none).
+func New(rules ...Rule) *Injector {
+	return &Injector{counts: make(map[string]uint64), rules: rules}
+}
+
+// match counts one operation at point and returns the rule that fires on
+// it, if any, plus whether the injector is (now) crashed.
+func (in *Injector) match(point string) (Rule, bool, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return Rule{}, false, true
+	}
+	n := in.counts[point] + 1
+	in.counts[point] = n
+	for _, r := range in.rules {
+		if r.Point != point || (r.N != 0 && r.N != n) {
+			continue
+		}
+		if r.Kind == Crash {
+			in.crashed = true
+		}
+		return r, true, in.crashed
+	}
+	return Rule{}, false, false
+}
+
+// Op gates one operation at point: it returns nil to proceed, ErrInjected
+// or ErrCrashed to fail, and serves Delay rules by sleeping first.
+func (in *Injector) Op(point string) error {
+	if in == nil {
+		return nil
+	}
+	r, ok, crashed := in.match(point)
+	if crashed {
+		return ErrCrashed
+	}
+	if !ok {
+		return nil
+	}
+	switch r.Kind {
+	case Fail, ShortWrite: // a short "write" of a non-write op is a failure
+		return ErrInjected
+	case Delay:
+		time.Sleep(r.Latency)
+	}
+	return nil
+}
+
+// Write gates one write of n bytes at point. It returns how many bytes the
+// caller should actually write and the error the operation must return:
+// (n, nil) normally, (prefix, ErrInjected) for a short write, and
+// (prefix, ErrCrashed) when a Crash rule fires — the caller writes the
+// prefix so the torn record really lands on disk, then fails.
+func (in *Injector) Write(point string, n int) (int, error) {
+	if in == nil {
+		return n, nil
+	}
+	r, ok, crashed := in.match(point)
+	if crashed && !ok {
+		return 0, ErrCrashed
+	}
+	if !ok {
+		return n, nil
+	}
+	switch r.Kind {
+	case ShortWrite, Crash:
+		allowed := r.Bytes
+		if allowed > n {
+			allowed = n
+		}
+		err := ErrInjected
+		if r.Kind == Crash {
+			err = ErrCrashed
+		}
+		return allowed, err
+	case Fail:
+		return 0, ErrInjected
+	case Delay:
+		time.Sleep(r.Latency)
+	}
+	return n, nil
+}
+
+// ResponseLimit reports whether a Truncate rule fires on this operation at
+// point, and if so after how many bytes the response must be cut.
+func (in *Injector) ResponseLimit(point string) (int, bool) {
+	if in == nil {
+		return 0, false
+	}
+	r, ok, crashed := in.match(point)
+	if crashed || !ok || r.Kind != Truncate {
+		return 0, false
+	}
+	return r.Bytes, true
+}
+
+// Crashed reports whether a Crash rule has latched the injector.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Count returns how many operations have been observed at point.
+func (in *Injector) Count(point string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[point]
+}
+
+// Schedule derives a reproducible rule set from seed: one rule per point,
+// with the operation index drawn from [1, maxN], the kind from kinds, and
+// small Bytes/Latency parameters. The same seed always yields the same
+// schedule, so a failing chaos run is replayed by printing its seed.
+func Schedule(seed uint64, points []string, maxN uint64, kinds ...Kind) []Rule {
+	if maxN == 0 {
+		maxN = 1
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{Fail}
+	}
+	r := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	rules := make([]Rule, 0, len(points))
+	for _, p := range points {
+		rules = append(rules, Rule{
+			Point:   p,
+			N:       1 + r.Uint64N(maxN),
+			Kind:    kinds[r.IntN(len(kinds))],
+			Bytes:   r.IntN(64),
+			Latency: time.Duration(1+r.IntN(5)) * time.Millisecond,
+		})
+	}
+	return rules
+}

@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: every method on a nil *Injector is a no-op, so
+// production call sites need no guards.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Op("x"); err != nil {
+		t.Errorf("nil Op = %v", err)
+	}
+	if n, err := in.Write("x", 9); n != 9 || err != nil {
+		t.Errorf("nil Write = %d, %v; want 9, nil", n, err)
+	}
+	if _, ok := in.ResponseLimit("x"); ok {
+		t.Error("nil ResponseLimit fired")
+	}
+	if in.Crashed() {
+		t.Error("nil injector reports crashed")
+	}
+	if in.Count("x") != 0 {
+		t.Error("nil injector counts operations")
+	}
+}
+
+// TestFailRuleFiresAtExactlyN: a Fail rule hits the N'th operation only.
+func TestFailRuleFiresAtExactlyN(t *testing.T) {
+	in := New(Rule{Point: "op", N: 3, Kind: Fail})
+	for i := 1; i <= 5; i++ {
+		err := in.Op("op")
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Errorf("op %d: err = %v, want ErrInjected", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Errorf("op %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := in.Count("op"); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+}
+
+// TestEveryOpRule: N == 0 fires on every operation at the point, and other
+// points are untouched.
+func TestEveryOpRule(t *testing.T) {
+	in := New(Rule{Point: "always", Kind: Fail})
+	for i := 0; i < 3; i++ {
+		if err := in.Op("always"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d not failed: %v", i, err)
+		}
+	}
+	if err := in.Op("other"); err != nil {
+		t.Errorf("unrelated point failed: %v", err)
+	}
+}
+
+// TestShortWriteReturnsPrefix: the write is told to land only the allowed
+// prefix and to fail, simulating a torn record.
+func TestShortWriteReturnsPrefix(t *testing.T) {
+	in := New(Rule{Point: "w", N: 2, Kind: ShortWrite, Bytes: 5})
+	if n, err := in.Write("w", 10); n != 10 || err != nil {
+		t.Fatalf("write 1 = %d, %v; want full 10", n, err)
+	}
+	n, err := in.Write("w", 10)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %d, %v; want 5, ErrInjected", n, err)
+	}
+	// Bytes beyond the payload clamps to the payload.
+	in2 := New(Rule{Point: "w", N: 1, Kind: ShortWrite, Bytes: 99})
+	if n, err := in2.Write("w", 4); n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("clamped write = %d, %v; want 4, ErrInjected", n, err)
+	}
+}
+
+// TestCrashLatches: after a Crash rule fires, every operation at every
+// point fails with ErrCrashed until the injector is rebuilt.
+func TestCrashLatches(t *testing.T) {
+	in := New(Rule{Point: "w", N: 2, Kind: Crash, Bytes: 3})
+	if _, err := in.Write("w", 8); err != nil {
+		t.Fatal(err)
+	}
+	n, err := in.Write("w", 8)
+	if n != 3 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write = %d, %v; want 3, ErrCrashed", n, err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not latched after Crash")
+	}
+	if err := in.Op("elsewhere"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Op = %v, want ErrCrashed", err)
+	}
+	if n, err := in.Write("w", 8); n != 0 || !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Write = %d, %v; want 0, ErrCrashed", n, err)
+	}
+	if _, ok := in.ResponseLimit("resp"); ok {
+		t.Error("post-crash ResponseLimit fired a Truncate")
+	}
+}
+
+// TestTruncateRule: ResponseLimit reports the cut, Op ignores it.
+func TestTruncateRule(t *testing.T) {
+	in := New(Rule{Point: "resp", N: 1, Kind: Truncate, Bytes: 7})
+	if limit, ok := in.ResponseLimit("resp"); !ok || limit != 7 {
+		t.Fatalf("ResponseLimit = %d, %v; want 7, true", limit, ok)
+	}
+	if _, ok := in.ResponseLimit("resp"); ok {
+		t.Error("Truncate fired twice with N = 1")
+	}
+}
+
+// TestDelayRuleSleeps: a Delay rule pauses the operation, then lets it
+// proceed without error.
+func TestDelayRuleSleeps(t *testing.T) {
+	in := New(Rule{Point: "op", N: 1, Kind: Delay, Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Op("op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delayed op took %s, want >= ~30ms", d)
+	}
+}
+
+// TestScheduleIsDeterministic: the same seed yields the same rules; a
+// different seed (almost surely) does not.
+func TestScheduleIsDeterministic(t *testing.T) {
+	points := []string{"wal.append", "wal.sync", "http.request"}
+	a := Schedule(42, points, 100, Fail, ShortWrite, Crash)
+	b := Schedule(42, points, 100, Fail, ShortWrite, Crash)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	if len(a) != len(points) {
+		t.Fatalf("schedule has %d rules, want one per point", len(a))
+	}
+	for i, r := range a {
+		if r.Point != points[i] || r.N < 1 || r.N > 100 {
+			t.Errorf("rule %d malformed: %+v", i, r)
+		}
+	}
+	c := Schedule(43, points, 100, Fail, ShortWrite, Crash)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+}

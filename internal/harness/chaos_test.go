@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http/httptest"
@@ -10,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ghostwriter/internal/fault"
 )
 
 // The chaos suite (`go test -run Chaos -race`) exercises the fleet's crash
@@ -440,5 +443,323 @@ func TestDispatchAgainstCacheOnlyServer(t *testing.T) {
 	}
 	if _, err := rc.SweepStatus(); !errors.Is(err, ErrNoDispatcher) {
 		t.Errorf("SweepStatus error = %v, want ErrNoDispatcher", err)
+	}
+}
+
+// newDurableChaosClient returns a client patient enough to ride out a
+// gwcached kill-and-restart inside a single RPC's retry cycle, with the
+// health prober readopting the restarted server quickly.
+func newDurableChaosClient(t *testing.T, urls ...string) *RemoteCache {
+	t.Helper()
+	rc, err := NewRemoteCache(RemoteConfig{
+		URLs:    urls,
+		Timeout: 2 * time.Second,
+		Retries: 6,
+		Backoff: 10 * time.Millisecond,
+		Reprobe: 10 * time.Millisecond,
+		Log:     io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc.Close)
+	return rc
+}
+
+// simCounter counts simulations per cell key — the exactly-once probe.
+type simCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newSimCounter() *simCounter { return &simCounter{counts: make(map[string]int)} }
+
+func (c *simCounter) exec(delay time.Duration) func(Spec) (RunResult, error) {
+	return func(s Spec) (RunResult, error) {
+		c.mu.Lock()
+		c.counts[s.Key()]++
+		c.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return stubExecute(s)
+	}
+}
+
+// assertExactlyOnce fails on any cell simulated zero times without a prior
+// result (lost) or more than once (double-simulated).
+func (c *simCounter) assertExactlyOnce(t *testing.T, items []WorkItem) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, it := range items {
+		switch n := c.counts[it.Key]; {
+		case n == 0:
+			t.Errorf("cell %s was never simulated — a completion was lost", it.Label)
+		case n > 1:
+			t.Errorf("cell %s simulated %d times — a completion was double-dispatched", it.Label, n)
+		}
+	}
+}
+
+// memberOf adapts a cache to the recovery backstop's membership test.
+func memberOf(c CacheBackend) func(string) bool {
+	return func(key string) bool {
+		_, ok := c.Get(key)
+		return ok
+	}
+}
+
+// TestChaosDurableKillRestartExactlyOnce is the PR's acceptance scenario:
+// gwcached journals to a WAL, is killed mid-sweep, and a fresh process on
+// the same address recovers the lease table from the WAL — no manifest
+// resubmission, no lost completion, no cell simulated twice. The lease TTL
+// comfortably exceeds the outage, so the leases the dead server had
+// acknowledged protect their claimants' in-flight work across the restart.
+func TestChaosDurableKillRestartExactlyOnce(t *testing.T) {
+	cacheDir, walDir := t.TempDir(), t.TempDir()
+	cache1, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd1, _, err := OpenDurableDispatcher(walDir, 10*time.Second, nil, memberOf(cache1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ts := httptest.NewUnstartedServer(NewServer(ServerConfig{Backend: cache1, Durable: dd1}))
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+
+	rc := newDurableChaosClient(t, "http://"+addr)
+	items := manifestItems(16)
+	if resp, err := rc.SubmitSweep(items); err != nil || resp.Queued != 16 {
+		t.Fatalf("submit = %+v, %v; want 16 queued", resp, err)
+	}
+
+	sims := newSimCounter()
+	w1 := runPool(newChaosPool("durable-a", rc, 2, sims.exec(3*time.Millisecond)), context.Background())
+	w2 := runPool(newChaosPool("durable-b", rc, 2, sims.exec(3*time.Millisecond)), context.Background())
+
+	stored := func() int {
+		n := 0
+		for _, it := range items {
+			if _, ok := cache1.Get(it.Key); ok {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(chaosWait)
+	for stored() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never made progress before the kill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill: connections dropped, listener gone. The WAL is NOT flushed
+	// beyond what the server already fsynced per acknowledged request —
+	// that is the whole durability claim under test.
+	ts.CloseClientConnections()
+	ts.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	// Restart: recover the lease table from the WAL on the same address.
+	cache2, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd2, stats, err := OpenDurableDispatcher(walDir, 10*time.Second, nil, memberOf(cache2))
+	if err != nil {
+		t.Fatalf("WAL recovery failed: %v", err)
+	}
+	if stats.Cells != 16 {
+		t.Fatalf("recovery stats %+v, want the full 16-cell manifest back", stats)
+	}
+	if stats.Done < 4 {
+		t.Errorf("recovery stats %+v, want the >=4 pre-kill completions back", stats)
+	}
+	ts2 := restartOn(t, addr, NewServer(ServerConfig{Backend: cache2, Durable: dd2}))
+	defer func() { ts2.Close(); dd2.Close() }()
+
+	// No resubmission: the workers ride out the outage and the recovered
+	// server finishes the sweep from its journaled state.
+	for i, done := range []chan workerResult{w1, w2} {
+		res := waitWorker(t, "durable", done)
+		if res.err != nil {
+			t.Errorf("worker %d failed across the kill: %v", i+1, res.err)
+		}
+	}
+	st, err := rc.SweepStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete() || st.Total != 16 {
+		t.Fatalf("sweep after restart = %+v, want 16/16 done", st)
+	}
+	if got := stored2(cache2, items); got != 16 {
+		t.Errorf("store holds %d/16 cells after the restart", got)
+	}
+	sims.assertExactlyOnce(t, items)
+}
+
+// stored2 counts items present in c.
+func stored2(c CacheBackend, items []WorkItem) int {
+	n := 0
+	for _, it := range items {
+		if _, ok := c.Get(it.Key); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosWarmStandbyFailover: the primary is killed mid-sweep and a
+// standby on a DIFFERENT address replays the same WAL over the same store.
+// The client's failover election moves every worker to the standby; the
+// sweep finishes exactly-once with no resubmission.
+func TestChaosWarmStandbyFailover(t *testing.T) {
+	cacheDir, walDir := t.TempDir(), t.TempDir()
+	cache1, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd1, _, err := OpenDurableDispatcher(walDir, 10*time.Second, nil, memberOf(cache1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := httptest.NewServer(NewServer(ServerConfig{Backend: cache1, Durable: dd1}))
+
+	// The standby's address must be known to the client up front: bind its
+	// listener now, start serving only at takeover (connections queue in
+	// the backlog meanwhile, which is exactly what a booting standby does).
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	standbyURL := "http://" + lnB.Addr().String()
+
+	rc := newDurableChaosClient(t, primary.URL, standbyURL)
+	items := manifestItems(12)
+	if resp, err := rc.SubmitSweep(items); err != nil || resp.Queued != 12 {
+		t.Fatalf("submit = %+v, %v; want 12 queued", resp, err)
+	}
+
+	sims := newSimCounter()
+	w1 := runPool(newChaosPool("standby-a", rc, 2, sims.exec(3*time.Millisecond)), context.Background())
+	w2 := runPool(newChaosPool("standby-b", rc, 2, sims.exec(3*time.Millisecond)), context.Background())
+
+	deadline := time.Now().Add(chaosWait)
+	for stored2(cache1, items) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never made progress before the kill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill the primary; bring the standby up from the shared WAL + store.
+	primary.CloseClientConnections()
+	primary.Close()
+	cache2, err := OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd2, stats, err := OpenDurableDispatcher(walDir, 10*time.Second, nil, memberOf(cache2))
+	if err != nil {
+		t.Fatalf("standby WAL replay failed: %v", err)
+	}
+	if stats.Cells != 12 {
+		t.Fatalf("standby recovered %d cells, want 12 (stats %+v)", stats.Cells, stats)
+	}
+	standby := httptest.NewUnstartedServer(NewServer(ServerConfig{Backend: cache2, Durable: dd2}))
+	standby.Listener.Close()
+	standby.Listener = lnB
+	standby.Start()
+	defer func() { standby.Close(); dd2.Close() }()
+
+	for i, done := range []chan workerResult{w1, w2} {
+		res := waitWorker(t, "standby", done)
+		if res.err != nil {
+			t.Errorf("worker %d failed across the failover: %v", i+1, res.err)
+		}
+	}
+	st, err := rc.SweepStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete() || st.Total != 12 {
+		t.Fatalf("sweep after failover = %+v, want 12/12 done", st)
+	}
+	if got := stored2(cache2, items); got != 12 {
+		t.Errorf("store holds %d/12 cells after the failover", got)
+	}
+	sims.assertExactlyOnce(t, items)
+}
+
+// TestChaosSeededFsyncFaults runs a sweep against a durable server whose
+// WAL fsyncs fail on a seeded, reproducible schedule. Every injected
+// failure turns into a 5xx the client retries; the sweep must converge
+// exactly-once, and a post-mortem WAL replay must hold every completion.
+func TestChaosSeededFsyncFaults(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			walDir := t.TempDir()
+			store := NewMemCache()
+			inj := fault.New(fault.Schedule(seed, []string{"wal.sync"}, 60, fault.Fail)...)
+			dd, _, err := OpenDurableDispatcher(walDir, 500*time.Millisecond, inj, memberOf(store))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(NewServer(ServerConfig{Backend: store, Durable: dd}))
+			rc := newDurableChaosClient(t, ts.URL)
+
+			items := manifestItems(20)
+			if _, err := rc.SubmitSweep(items); err != nil {
+				t.Fatalf("submit under fsync faults: %v", err)
+			}
+			sims := newSimCounter()
+			w1 := runPool(newChaosPool("fsync-a", rc, 2, sims.exec(0)), context.Background())
+			w2 := runPool(newChaosPool("fsync-b", rc, 2, sims.exec(0)), context.Background())
+			for i, done := range []chan workerResult{w1, w2} {
+				res := waitWorker(t, "fsync", done)
+				if res.err != nil {
+					t.Errorf("worker %d failed under fsync faults: %v", i+1, res.err)
+				}
+			}
+			st, err := rc.SweepStatus()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkInvariant(t, st)
+			if !st.Complete() || st.Total != 20 {
+				t.Fatalf("sweep under fsync faults = %+v, want 20/20 done", st)
+			}
+			if got := stored2(store, items); got != 20 {
+				t.Errorf("store holds %d/20 cells", got)
+			}
+			sims.assertExactlyOnce(t, items)
+			if inj.Count("wal.sync") == 0 {
+				t.Fatal("the schedule never reached an fsync — the test exercised nothing")
+			}
+			ts.Close()
+			dd.Close()
+
+			// Post-mortem: a fresh replay of the WAL must hold every
+			// completion the clients were told succeeded.
+			dd2, _, err := OpenDurableDispatcher(walDir, time.Hour, nil, memberOf(store))
+			if err != nil {
+				t.Fatalf("post-mortem WAL replay failed: %v", err)
+			}
+			defer dd2.Close()
+			if rst := dd2.Status(); !rst.Complete() || rst.Done != 20 {
+				t.Errorf("replayed WAL shows %+v, want all 20 completions durable", rst)
+			}
+		})
 	}
 }

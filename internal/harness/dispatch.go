@@ -78,6 +78,31 @@ type dispatchCell struct {
 	expiry time.Time
 }
 
+// eventKind tags one dispatch state transition for the observer.
+type eventKind uint8
+
+const (
+	evSubmit eventKind = iota
+	evLease
+	evExpire
+	evComplete
+)
+
+// dispatchEvent is one state transition of the lease table, emitted
+// synchronously under the dispatcher lock to an optional observer — the
+// journal hook the durable server uses to write its WAL. Heartbeat
+// renewals are deliberately not events: journaling every renewal would
+// bloat the log, and losing one merely shortens a recovered lease to its
+// last journaled expiry (the reaper then requeues it, which is safe).
+type dispatchEvent struct {
+	kind   eventKind
+	item   WorkItem // evSubmit only
+	key    string
+	worker string
+	expiry time.Time
+	done   bool // evSubmit: the cell entered done directly (already cached)
+}
+
 // Dispatcher is the server-side work queue of a distributed sweep: a lease
 // table over the cells of one or more submitted manifests. Workers claim
 // batches of pending cells, renew their leases by heartbeat, and complete
@@ -95,6 +120,10 @@ type Dispatcher struct {
 	// now is the clock; tests substitute a manual one to drive expiry
 	// deterministically.
 	now func() time.Time
+	// observer, when set, receives every state transition under the lock —
+	// the DurableDispatcher's journal. It must not call back into the
+	// Dispatcher.
+	observer func(dispatchEvent)
 
 	cells map[string]*dispatchCell
 	// queue holds pending keys in FIFO order. Entries can go stale (a
@@ -149,8 +178,16 @@ func (d *Dispatcher) Submit(items []WorkItem, cached func(key string) bool) Subm
 			sum.Queued++
 		}
 		d.cells[it.Key] = c
+		d.notify(dispatchEvent{kind: evSubmit, item: it, key: it.Key, done: c.state == stateDone})
 	}
 	return sum
+}
+
+// notify forwards one transition to the observer; callers hold d.mu.
+func (d *Dispatcher) notify(ev dispatchEvent) {
+	if d.observer != nil {
+		d.observer(ev)
+	}
 }
 
 // Claim leases up to max pending cells to worker and returns them with the
@@ -175,6 +212,7 @@ func (d *Dispatcher) Claim(worker string, max int) ([]WorkItem, SweepStatus) {
 		c.worker = worker
 		c.expiry = d.now().Add(d.ttl)
 		d.leased++
+		d.notify(dispatchEvent{kind: evLease, key: c.item.Key, worker: worker, expiry: c.expiry})
 		out = append(out, c.item)
 	}
 	return out, d.statusLocked()
@@ -218,6 +256,7 @@ func (d *Dispatcher) Complete(key string) bool {
 	c.state = stateDone
 	c.worker = ""
 	d.done++
+	d.notify(dispatchEvent{kind: evComplete, key: key})
 	return true
 }
 
@@ -264,6 +303,7 @@ func (d *Dispatcher) reapLocked() int {
 		d.leased--
 		d.queue = append(d.queue, k)
 		d.reclaims++
+		d.notify(dispatchEvent{kind: evExpire, key: k})
 	}
 	return len(expired)
 }

@@ -1,0 +1,384 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ghostwriter/internal/fault"
+)
+
+// openDurable opens a DurableDispatcher in dir with a long TTL (so real-
+// clock reaping never interferes) and fails the test on error.
+func openDurable(t *testing.T, dir string, inj *fault.Injector, cached func(string) bool) (*DurableDispatcher, RecoveryStats) {
+	t.Helper()
+	dd, stats, err := OpenDurableDispatcher(dir, time.Hour, inj, cached)
+	if err != nil {
+		t.Fatalf("OpenDurableDispatcher(%s): %v", dir, err)
+	}
+	return dd, stats
+}
+
+// drainKeys claims every pending cell from d (one at a time, so the claim
+// order is observable) and returns the keys in dispatch order.
+func drainKeys(d *Dispatcher, worker string) []string {
+	var keys []string
+	for {
+		items, _ := d.Claim(worker, 1)
+		if len(items) == 0 {
+			return keys
+		}
+		keys = append(keys, items[0].Key)
+	}
+}
+
+// TestDurableDispatcherRecoversAcrossReopen: the baseline WAL round trip.
+// A submit/claim/complete sequence, persisted and closed, must come back
+// from a reopen with the identical lease table — counts, per-cell states,
+// and the dispatch order of the remaining queue.
+func TestDurableDispatcherRecoversAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	items := manifestItems(6)
+
+	dd, _ := openDurable(t, dir, nil, nil)
+	if sum := dd.Submit(items, nil); sum.Queued != 6 {
+		t.Fatalf("submit = %+v, want 6 queued", sum)
+	}
+	claimed, _ := dd.Claim("w1", 2)
+	if len(claimed) != 2 {
+		t.Fatalf("claimed %d cells, want 2", len(claimed))
+	}
+	if !dd.Complete(claimed[0].Key) {
+		t.Fatal("complete of a leased cell reported no change")
+	}
+	if err := dd.Persist(); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	before := dd.Status()
+	if err := dd.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	dd2, stats := openDurable(t, dir, nil, nil)
+	defer dd2.Close()
+	after := dd2.Status()
+	checkInvariant(t, after)
+	if after != before {
+		t.Fatalf("recovered status %+v, want %+v", after, before)
+	}
+	if stats.Cells != 6 || stats.Done != 1 || stats.Leased != 1 || stats.Pending != 4 {
+		t.Errorf("recovery stats %+v, want 6 cells / 1 done / 1 leased / 4 pending", stats)
+	}
+	// The surviving lease must still belong to w1: its heartbeat renews, a
+	// stranger's does not.
+	renewed, lost := dd2.Heartbeat("w1", []string{claimed[1].Key})
+	if len(renewed) != 1 || len(lost) != 0 {
+		t.Errorf("w1 heartbeat after recovery = %v/%v, want its lease renewed", renewed, lost)
+	}
+	// The queue must come back in FIFO order: the four never-claimed cells.
+	wantOrder := []string{items[2].Key, items[3].Key, items[4].Key, items[5].Key}
+	gotOrder := drainKeys(dd2.Dispatcher, "w2")
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("recovered queue has %d cells, want %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("recovered dispatch order %v, want %v", gotOrder, wantOrder)
+		}
+	}
+}
+
+// TestDurableRecoveryDuplicatedCompletion: a crash between compaction's
+// rename and truncate leaves the same completion both in the snapshot and
+// in the log — and retried publishes append it twice anyway. Replay must
+// count it once.
+func TestDurableRecoveryDuplicatedCompletion(t *testing.T) {
+	dir := t.TempDir()
+	items := manifestItems(3)
+
+	dd, _ := openDurable(t, dir, nil, nil)
+	dd.Submit(items, nil)
+	claimed, _ := dd.Claim("w1", 1)
+	key := claimed[0].Key
+	dd.Complete(key)
+	// Forge the duplicates a retried publish would journal.
+	b, err := json.Marshal(walRecord{T: recComplete, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := dd.Journal().store.Append(b, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dd.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	dd.Close()
+
+	dd2, stats := openDurable(t, dir, nil, nil)
+	defer dd2.Close()
+	st := dd2.Status()
+	checkInvariant(t, st)
+	if st.Done != 1 || st.Total != 3 || st.Pending != 2 {
+		t.Fatalf("recovered status %+v, want exactly 1 done of 3", st)
+	}
+	if stats.Done != 1 {
+		t.Errorf("recovery stats counted %d done, want 1", stats.Done)
+	}
+	if dd2.Complete(key) {
+		t.Error("recovered cell completed again — duplicate replay inflated state")
+	}
+}
+
+// TestDurableCompactionEquivalence: the same transition history recovered
+// through a snapshot must be indistinguishable from the raw log — same
+// counters, same per-cell states, same dispatch order of the remainder.
+func TestDurableCompactionEquivalence(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	items := manifestItems(8)
+
+	// Drive the identical sequence on both; compact only A (repeatedly, so
+	// snapshot-plus-tail is exercised too, not just snapshot-only).
+	drive := func(dir string, compact bool) SweepStatus {
+		dd, _ := openDurable(t, dir, nil, nil)
+		defer dd.Close()
+		dd.Submit(items, nil)
+		if compact {
+			if err := dd.Compact(); err != nil {
+				t.Fatalf("compact after submit: %v", err)
+			}
+		}
+		c1, _ := dd.Claim("w1", 3)
+		dd.Complete(c1[0].Key)
+		if compact {
+			if err := dd.Compact(); err != nil {
+				t.Fatalf("compact mid-sweep: %v", err)
+			}
+		}
+		// Post-snapshot tail: another claim and completion.
+		c2, _ := dd.Claim("w2", 2)
+		dd.Complete(c2[0].Key)
+		if err := dd.Persist(); err != nil {
+			t.Fatal(err)
+		}
+		return dd.Status()
+	}
+	stA := drive(dirA, true)
+	stB := drive(dirB, false)
+	if stA != stB {
+		t.Fatalf("pre-recovery divergence: %+v vs %+v", stA, stB)
+	}
+
+	ddA, statsA := openDurable(t, dirA, nil, nil)
+	defer ddA.Close()
+	ddB, statsB := openDurable(t, dirB, nil, nil)
+	defer ddB.Close()
+	if statsA.SnapshotCells == 0 {
+		t.Error("compacted WAL recovered without a snapshot")
+	}
+	if statsB.SnapshotCells != 0 {
+		t.Error("never-compacted WAL grew a snapshot")
+	}
+	sA, sB := ddA.Status(), ddB.Status()
+	checkInvariant(t, sA)
+	if sA != sB || sA != stA {
+		t.Fatalf("recovered states diverge: snapshot %+v, log %+v, original %+v", sA, sB, stA)
+	}
+	oA := drainKeys(ddA.Dispatcher, "wx")
+	oB := drainKeys(ddB.Dispatcher, "wx")
+	if len(oA) != len(oB) {
+		t.Fatalf("dispatch order lengths diverge: %d vs %d", len(oA), len(oB))
+	}
+	for i := range oA {
+		if oA[i] != oB[i] {
+			t.Fatalf("dispatch order diverges at %d: %v vs %v", i, oA, oB)
+		}
+	}
+}
+
+// TestDurableCrashDuringCompaction: a compaction that dies between
+// installing the snapshot and truncating the log leaves both the snapshot
+// and the full pre-compaction log on disk. Recovery replays the log over
+// the snapshot; idempotent transitions make the double-application a no-op.
+func TestDurableCrashDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	items := manifestItems(5)
+	inj := fault.New(fault.Rule{Point: "wal.truncate", N: 1, Kind: fault.Fail})
+
+	dd, _ := openDurable(t, dir, inj, nil)
+	dd.Submit(items, nil)
+	claimed, _ := dd.Claim("w1", 2)
+	dd.Complete(claimed[0].Key)
+	if err := dd.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	before := dd.Status()
+	if err := dd.Compact(); err == nil {
+		t.Fatal("compaction with an injected truncate failure reported success")
+	}
+	dd.Close()
+
+	dd2, stats := openDurable(t, dir, nil, nil)
+	defer dd2.Close()
+	if stats.SnapshotCells != 5 || stats.Records == 0 {
+		t.Fatalf("recovery stats %+v, want the installed snapshot plus the untrimmed log", stats)
+	}
+	st := dd2.Status()
+	checkInvariant(t, st)
+	if st != before {
+		t.Fatalf("recovered status %+v, want %+v", st, before)
+	}
+	if dd2.Complete(claimed[0].Key) {
+		t.Error("snapshot+log double-application resurrected a completed cell")
+	}
+}
+
+// TestDurableRecoveryStoreBackstop: a completion whose WAL record never
+// made it (torn tail, failed fsync) but whose result reached the
+// content-addressed store is recovered from the store — the cell comes
+// back done, never re-dispatched.
+func TestDurableRecoveryStoreBackstop(t *testing.T) {
+	dir := t.TempDir()
+	items := manifestItems(4)
+
+	dd, _ := openDurable(t, dir, nil, nil)
+	dd.Submit(items, nil)
+	claimed, _ := dd.Claim("w1", 1)
+	lost := claimed[0].Key
+	if err := dd.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	// The worker published its result, but the completion record is gone
+	// with the crash: close without journaling the completion.
+	dd.Close()
+
+	dd2, stats := openDurable(t, dir, nil, func(key string) bool { return key == lost })
+	defer dd2.Close()
+	if stats.Backfilled != 1 {
+		t.Fatalf("recovery backfilled %d completions from the store, want 1", stats.Backfilled)
+	}
+	st := dd2.Status()
+	checkInvariant(t, st)
+	if st.Done != 1 || st.Leased != 0 {
+		t.Fatalf("recovered status %+v, want the published cell done and unleased", st)
+	}
+	if dd2.Complete(lost) {
+		t.Error("backfilled cell was not done — it would have been re-dispatched")
+	}
+}
+
+// TestDurableLeaseExpiryReplays: an expiry journaled before the crash must
+// recover as a pending, re-dispatchable cell with the reclaim counted.
+func TestDurableLeaseExpiryReplays(t *testing.T) {
+	dir := t.TempDir()
+	items := manifestItems(2)
+
+	dd, _ := openDurable(t, dir, nil, nil)
+	now := time.Unix(1_700_000_000, 0)
+	dd.Dispatcher.now = func() time.Time { return now }
+	dd.Submit(items, nil)
+	dd.Claim("w1", 1)
+	now = now.Add(2 * time.Hour) // past the TTL
+	if n := dd.Reap(); n != 1 {
+		t.Fatalf("reaped %d leases, want 1", n)
+	}
+	if err := dd.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	dd.Close()
+
+	dd2, _ := openDurable(t, dir, nil, nil)
+	defer dd2.Close()
+	st := dd2.Status()
+	checkInvariant(t, st)
+	if st.Leased != 0 || st.Pending != 2 || st.Reclaims != 1 {
+		t.Fatalf("recovered status %+v, want both cells pending with 1 reclaim", st)
+	}
+	if got := drainKeys(dd2.Dispatcher, "w2"); len(got) != 2 {
+		t.Fatalf("recovered queue holds %d cells, want both", len(got))
+	}
+}
+
+// TestDurableCrashAtEveryRecord is the scripted crash sweep: one driver
+// runs a fixed submit/claim/complete script against a WAL that dies at
+// append N, for every N the script can reach. Whatever was acknowledged
+// (Persist returned nil) before the crash must be intact after recovery,
+// and the sweep must be finishable without re-simulating any acknowledged
+// completion.
+func TestDurableCrashAtEveryRecord(t *testing.T) {
+	items := manifestItems(4)
+	// The full script writes 4 submits + 4 leases + 4 completions = 12
+	// records; sweep the crash point across all of them and one beyond.
+	for n := uint64(1); n <= 13; n++ {
+		dir := t.TempDir()
+		inj := fault.New(fault.Rule{Point: "wal.append", N: n, Kind: fault.Crash})
+		dd, _, err := OpenDurableDispatcher(dir, time.Hour, inj, nil)
+		if err != nil {
+			t.Fatalf("n=%d: open: %v", n, err)
+		}
+
+		ackedSubmit := false
+		acked := make(map[string]bool) // completions whose Persist succeeded
+		crashed := false
+		dd.Submit(items, nil)
+		if dd.Persist() != nil {
+			crashed = true
+		} else {
+			ackedSubmit = true
+		}
+		for !crashed {
+			claimed, st := dd.Claim("w1", 2)
+			if dd.Persist() != nil {
+				crashed = true
+				break
+			}
+			if len(claimed) == 0 {
+				if !st.Complete() {
+					t.Fatalf("n=%d: script stalled at %+v", n, st)
+				}
+				break
+			}
+			for _, it := range claimed {
+				dd.Complete(it.Key)
+				if dd.Persist() != nil {
+					crashed = true
+					break
+				}
+				acked[it.Key] = true
+			}
+		}
+		dd.Close() // the dying process; errors are expected
+
+		dd2, stats, err := OpenDurableDispatcher(dir, time.Hour, nil, nil)
+		if err != nil {
+			t.Fatalf("n=%d: recovery: %v", n, err)
+		}
+		st := dd2.Status()
+		checkInvariant(t, st)
+		if ackedSubmit && st.Total != len(items) {
+			t.Errorf("n=%d: acknowledged manifest recovered %d/%d cells (stats %+v)",
+				n, st.Total, len(items), stats)
+		}
+		for k := range acked {
+			if dd2.Complete(k) {
+				t.Errorf("n=%d: acknowledged completion %s was lost — the cell would be re-simulated", n, k)
+			}
+		}
+		// The operator's step: resubmit the manifest and finish the sweep.
+		dd2.Submit(items, nil)
+		resimulated := 0
+		for _, it := range items {
+			if dd2.Complete(it.Key) && acked[it.Key] {
+				resimulated++
+			}
+		}
+		if resimulated != 0 {
+			t.Errorf("n=%d: %d acknowledged cells were simulated twice", n, resimulated)
+		}
+		if fin := dd2.Status(); !fin.Complete() {
+			t.Errorf("n=%d: sweep not finishable after recovery: %+v", n, fin)
+		}
+		dd2.Close()
+	}
+}

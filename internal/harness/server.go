@@ -2,13 +2,109 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
+	"log"
 	"net/http"
+	"sync/atomic"
+
+	"ghostwriter/internal/fault"
 )
 
 // maxManifestBytes bounds one POST /v1/sweep body. A WorkItem is ~1 KiB of
 // JSON, so this admits sweeps of tens of thousands of cells while keeping
 // a hostile client from exhausting server memory.
 const maxManifestBytes = 64 << 20
+
+// drainRetryAfter is the Retry-After hint on 503s served while draining:
+// long enough for a rolling restart to finish, short enough that a
+// submitting client retries against the replacement promptly.
+const drainRetryAfter = "5"
+
+// DrainGate is the shutdown switch a draining gwcached flips: once
+// Drain is called, endpoints that create new work (POST /v1/sweep,
+// POST /v1/claim) answer 503 with a Retry-After header instead of
+// accepting work the dying process would drop, while completions and
+// reads keep flowing so in-flight cells land. Safe for concurrent use.
+type DrainGate struct {
+	draining atomic.Bool
+}
+
+// Drain flips the gate; there is no way back (the process is exiting).
+func (g *DrainGate) Drain() { g.draining.Store(true) }
+
+// Draining reports whether the gate has been flipped.
+func (g *DrainGate) Draining() bool { return g.draining.Load() }
+
+// reject503 answers one gated request.
+func reject503(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", drainRetryAfter)
+	http.Error(w, "draining: retry against the restarted server", http.StatusServiceUnavailable)
+}
+
+// ServerConfig assembles a gwcached HTTP handler. Backend is required;
+// everything else is optional.
+type ServerConfig struct {
+	// Backend is the content-addressed key→result store.
+	Backend CacheBackend
+	// Dispatcher enables the fleet work-dispatch protocol.
+	Dispatcher *Dispatcher
+	// Durable supersedes Dispatcher: its lease table is journaled to a WAL
+	// and the handler persists (fsyncs) on submission, claim, and
+	// completion boundaries, failing the request when the journal does so
+	// the client retries instead of trusting a lost record.
+	Durable *DurableDispatcher
+	// Gate, when set, lets a draining process reject work-creating
+	// requests with 503 + Retry-After (see DrainGate).
+	Gate *DrainGate
+	// Fault threads the deterministic fault injector through the handler:
+	// point "http.request" can delay, fail, or crash (abort the connection
+	// of) any request, and "http.response" can truncate a response body.
+	Fault *fault.Injector
+}
+
+// truncatedWriter cuts a response body after limit bytes — the injected
+// equivalent of a server falling over mid-response.
+type truncatedWriter struct {
+	http.ResponseWriter
+	remain int
+}
+
+func (t *truncatedWriter) Write(p []byte) (int, error) {
+	if t.remain <= 0 {
+		return len(p), nil // swallow the rest; the client sees a short body
+	}
+	n := len(p)
+	if n > t.remain {
+		n = t.remain
+	}
+	if _, err := t.ResponseWriter.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	t.remain -= n
+	return len(p), nil
+}
+
+// withFaults wraps h with the injector's HTTP points; nil-injector is free.
+func withFaults(inj *fault.Injector, h http.Handler) http.Handler {
+	if inj == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if err := inj.Op("http.request"); err != nil {
+			if errors.Is(err, fault.ErrCrashed) {
+				// Abort the connection without a response: to the client
+				// this is indistinguishable from the process dying.
+				panic(http.ErrAbortHandler)
+			}
+			http.Error(w, "injected fault", http.StatusServiceUnavailable)
+			return
+		}
+		if n, ok := inj.ResponseLimit("http.response"); ok {
+			w = &truncatedWriter{ResponseWriter: w, remain: n}
+		}
+		h.ServeHTTP(w, req)
+	})
+}
 
 // cacheStatser is implemented by backends that track activity counters.
 type cacheStatser interface {
@@ -74,7 +170,7 @@ type HeartbeatResponse struct {
 // neither undecodable entries nor vacuous all-zero results the whole fleet
 // would then trust.
 func NewCacheServer(backend CacheBackend) http.Handler {
-	return NewDispatchServer(backend, nil)
+	return NewServer(ServerConfig{Backend: backend})
 }
 
 // NewDispatchServer is NewCacheServer plus the fleet work-dispatch
@@ -91,8 +187,38 @@ func NewCacheServer(backend CacheBackend) http.Handler {
 // at-least-once execution (a lease can expire and redispatch a cell that
 // is still being simulated) converges on exactly-once-observable results.
 func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
+	return NewServer(ServerConfig{Backend: backend, Dispatcher: d})
+}
+
+// NewServer builds the gwcached handler from cfg — the storage protocol
+// over cfg.Backend, the dispatch protocol when a (possibly durable)
+// dispatcher is configured, the drain gate, and the fault-injection
+// middleware. With cfg.Durable, the handler persists the WAL on the three
+// boundaries a client acts on: a submission is acknowledged only once its
+// cells are durable, a claim only once its leases are (so a restarted
+// server re-grants rather than double-dispatches them), and a completion
+// only once its record is — the property that makes kill -9 lose nothing.
+func NewServer(cfg ServerConfig) http.Handler {
+	backend := cfg.Backend
+	d := cfg.Dispatcher
+	if cfg.Durable != nil {
+		d = cfg.Durable.Dispatcher
+	}
+	// persist makes acknowledged state durable; without a WAL it is free.
+	persist := func() error {
+		if cfg.Durable == nil {
+			return nil
+		}
+		return cfg.Durable.Persist()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		// A draining server reports unhealthy so failover clients elect a
+		// standby instead of sending a rolling restart new work.
+		if cfg.Gate != nil && cfg.Gate.Draining() {
+			reject503(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
@@ -138,15 +264,36 @@ func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		completed := false
 		if d != nil {
-			d.Complete(key)
+			completed = d.Complete(key)
+		}
+		if cfg.Durable != nil {
+			if !completed {
+				// A result outside any sweep (or a duplicate): journal the
+				// PUT metadata so the WAL is a full account of the store.
+				cfg.Durable.Journal().RecordPut(key)
+			}
+			if err := persist(); err != nil {
+				// The store took the result but its completion record is not
+				// durable. Fail the request: the publish is idempotent, the
+				// worker retries, and recovery's store backstop covers a
+				// crash in between.
+				log.Printf("harness: completion journal for %s failed: %v", key, err)
+				http.Error(w, "completion journal failed; retry", http.StatusInternalServerError)
+				return
+			}
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	if d == nil {
-		return mux
+		return withFaults(cfg.Fault, mux)
 	}
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Gate != nil && cfg.Gate.Draining() {
+			reject503(w)
+			return
+		}
 		var man SweepManifest
 		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxManifestBytes))
 		if err := dec.Decode(&man); err != nil {
@@ -157,9 +304,20 @@ func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
 			_, ok := backend.Get(key)
 			return ok
 		})
+		if err := persist(); err != nil {
+			// The manifest is in memory but not durable; make the client
+			// resubmit (idempotent) rather than trust a lossy acceptance.
+			log.Printf("harness: submission journal failed: %v", err)
+			http.Error(w, "submission journal failed; retry", http.StatusInternalServerError)
+			return
+		}
 		writeJSONResponse(w, SubmitResponse{SubmitSummary: sum, Status: d.Status()})
 	})
 	mux.HandleFunc("POST /v1/claim", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Gate != nil && cfg.Gate.Draining() {
+			reject503(w)
+			return
+		}
 		var cr ClaimRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxEntryBytes))
 		if err := dec.Decode(&cr); err != nil || cr.Worker == "" {
@@ -167,6 +325,15 @@ func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
 			return
 		}
 		items, status := d.Claim(cr.Worker, cr.Max)
+		if err := persist(); err != nil {
+			// Un-journaled leases would be re-dispatched by a restarted
+			// server while the claimant still works them — the double-
+			// simulation the WAL exists to prevent. Refuse the claim; the
+			// in-memory leases expire by TTL.
+			log.Printf("harness: claim journal for %s failed: %v", cr.Worker, err)
+			http.Error(w, "claim journal failed; retry", http.StatusInternalServerError)
+			return
+		}
 		writeJSONResponse(w, ClaimResponse{Items: items, TTLMS: d.TTL().Milliseconds(), Status: status})
 	})
 	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, req *http.Request) {
@@ -182,7 +349,7 @@ func NewDispatchServer(backend CacheBackend, d *Dispatcher) http.Handler {
 	mux.HandleFunc("GET /v1/sweep", func(w http.ResponseWriter, req *http.Request) {
 		writeJSONResponse(w, d.Status())
 	})
-	return mux
+	return withFaults(cfg.Fault, mux)
 }
 
 func writeJSONResponse(w http.ResponseWriter, v any) {

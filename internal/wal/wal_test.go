@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ghostwriter/internal/fault"
+)
+
+// reopen closes s (tolerating a broken store) and opens the dir again.
+func reopen(t *testing.T, s *Store) (*Store, *Recovered) {
+	t.Helper()
+	s.Close()
+	s2, rec, err := Open(s.Dir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s2, rec
+}
+
+func appendAll(t *testing.T, s *Store, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := s.Append([]byte(r), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recordsOf(rec *Recovered) []string {
+	out := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func wantRecords(t *testing.T, rec *Recovered, want ...string) {
+	t.Helper()
+	got := recordsOf(rec)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAppendReplayRoundTrip: records come back in order across a reopen,
+// with no snapshot and no torn bytes.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	s, rec, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh dir recovered %+v, want empty", rec)
+	}
+	appendAll(t, s, "alpha", "beta", "gamma")
+	s2, rec2 := reopen(t, s)
+	defer s2.Close()
+	wantRecords(t, rec2, "alpha", "beta", "gamma")
+	if rec2.TornBytes != 0 {
+		t.Errorf("clean log reports %d torn bytes", rec2.TornBytes)
+	}
+	// The reopened store appends on the same stream.
+	appendAll(t, s2, "delta")
+	s3, rec3 := reopen(t, s2)
+	defer s3.Close()
+	wantRecords(t, rec3, "alpha", "beta", "gamma", "delta")
+}
+
+// TestTornTailDiscarded: a record cut mid-frame (the write a crash
+// interrupted) is discarded on reopen, the file is truncated back to the
+// last intact frame, and appends continue cleanly.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "keep-1", "keep-2", "torn-record-payload")
+	s.Close()
+
+	// Tear the tail: chop into the last record's payload.
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, rec, "keep-1", "keep-2")
+	if rec.TornBytes == 0 {
+		t.Error("torn tail not reported")
+	}
+	appendAll(t, s2, "after-tear")
+	s3, rec3 := reopen(t, s2)
+	defer s3.Close()
+	wantRecords(t, rec3, "keep-1", "keep-2", "after-tear")
+	if rec3.TornBytes != 0 {
+		t.Errorf("second reopen still reports %d torn bytes", rec3.TornBytes)
+	}
+}
+
+// TestCorruptTailCRCDiscarded: flipping a bit in the last record's payload
+// fails its CRC and drops exactly that record.
+func TestCorruptTailCRCDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "good", "corrupted")
+	s.Close()
+
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wantRecords(t, rec, "good")
+	if rec.TornBytes == 0 {
+		t.Error("CRC-corrupt tail not reported as torn")
+	}
+}
+
+// TestCorruptionMidFileStopsReplay: framing is a stream, so a bad record
+// makes everything after it unreachable — replay stops there and the tail
+// is discarded. This is the documented (conservative) behaviour.
+func TestCorruptionMidFileStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "first", "second-corrupted", "third")
+	s.Close()
+
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload.
+	off := headerSize + len("first") + headerSize + 3
+	b[off] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wantRecords(t, rec, "first")
+}
+
+// TestCompactSnapshotAndTail: after a compaction, reopen returns the
+// snapshot plus only the records appended after it.
+func TestCompactSnapshotAndTail(t *testing.T) {
+	s, _, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "a", "b", "c")
+	if err := s.Compact([]byte("snapshot-of-abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Appends(); got != 0 {
+		t.Errorf("Appends after compact = %d, want 0", got)
+	}
+	appendAll(t, s, "d", "e")
+	if got := s.Appends(); got != 2 {
+		t.Errorf("Appends = %d, want 2", got)
+	}
+
+	s2, rec := reopen(t, s)
+	defer s2.Close()
+	if !bytes.Equal(rec.Snapshot, []byte("snapshot-of-abc")) {
+		t.Errorf("snapshot = %q", rec.Snapshot)
+	}
+	wantRecords(t, rec, "d", "e")
+}
+
+// TestCrashBetweenSnapshotAndTruncate: if the process dies after the
+// snapshot rename but before the log truncate, reopen sees the new
+// snapshot AND the full pre-compaction log — the duplication replay must
+// tolerate. The injector fails "wal.truncate" to freeze that exact moment.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Rule{Point: "wal.truncate", N: 1, Kind: fault.Fail})
+	s, _, err := Open(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "a", "b")
+	if err := s.Compact([]byte("snap-ab")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("compact error = %v, want the injected truncate failure", err)
+	}
+	s2, rec := reopen(t, s)
+	defer s2.Close()
+	if !bytes.Equal(rec.Snapshot, []byte("snap-ab")) {
+		t.Errorf("snapshot = %q, want the renamed snap-ab", rec.Snapshot)
+	}
+	wantRecords(t, rec, "a", "b") // duplicates of snapshot state, by design
+}
+
+// TestCrashBeforeSnapshotRename: a compaction that dies before the rename
+// changes nothing — old snapshot (none) and full log survive.
+func TestCrashBeforeSnapshotRename(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Rule{Point: "wal.compact", N: 1, Kind: fault.Fail})
+	s, _, err := Open(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "a", "b")
+	if err := s.Compact([]byte("snap")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("compact error = %v, want injected", err)
+	}
+	s2, rec := reopen(t, s)
+	defer s2.Close()
+	if rec.Snapshot != nil {
+		t.Errorf("snapshot = %q, want none", rec.Snapshot)
+	}
+	wantRecords(t, rec, "a", "b")
+}
+
+// TestInjectedShortWriteBreaksStoreUntilReopen: a torn append leaves the
+// file and the frame accounting divergent, so the store refuses further
+// work; reopen discards the torn prefix and recovers the acked records.
+func TestInjectedShortWriteBreaksStoreUntilReopen(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Rule{Point: "wal.append", N: 3, Kind: fault.ShortWrite, Bytes: 5})
+	s, _, err := Open(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, "one", "two")
+	if err := s.Append([]byte("torn"), true); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append error = %v, want injected", err)
+	}
+	if err := s.Append([]byte("more"), false); err == nil {
+		t.Fatal("broken store accepted a further append")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("broken store accepted a Sync")
+	}
+	s2, rec, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wantRecords(t, rec, "one", "two")
+	if rec.TornBytes != 5 {
+		t.Errorf("torn bytes = %d, want the 5 injected", rec.TornBytes)
+	}
+}
+
+// TestInjectedFsyncErrorIsTransient: a failed fsync surfaces to the caller
+// but does not break the store — the frame is intact and a later Sync
+// succeeds and covers it.
+func TestInjectedFsyncErrorIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(fault.Rule{Point: "wal.sync", N: 1, Kind: fault.Fail})
+	s, _, err := Open(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("rec"), true); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("synced append error = %v, want injected fsync failure", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("retried Sync failed: %v", err)
+	}
+	s2, rec := reopen(t, s)
+	defer s2.Close()
+	wantRecords(t, rec, "rec")
+}
+
+// TestInjectedCrashAtRecordN: for every N in a small sweep, a crash at the
+// N'th append loses exactly the records from N on — never an earlier one.
+func TestInjectedCrashAtRecordN(t *testing.T) {
+	const total = 6
+	for n := uint64(1); n <= total; n++ {
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			inj := fault.New(fault.Rule{Point: "wal.append", N: n, Kind: fault.Crash})
+			s, _, err := Open(dir, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := 0
+			for i := 0; i < total; i++ {
+				if err := s.Append([]byte(fmt.Sprintf("r%d", i)), true); err != nil {
+					break
+				}
+				acked++
+			}
+			if acked != int(n)-1 {
+				t.Fatalf("acked %d records before the crash, want %d", acked, n-1)
+			}
+			s.Close()
+			_, rec, err := Open(dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string
+			for i := 0; i < acked; i++ {
+				want = append(want, fmt.Sprintf("r%d", i))
+			}
+			wantRecords(t, rec, want...)
+		})
+	}
+}
+
+// TestAppendRejectsDegenerateRecords: empty and oversized records are
+// errors before anything touches the file.
+func TestAppendRejectsDegenerateRecords(t *testing.T) {
+	s, _, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(nil, false); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := s.Append(make([]byte, maxRecordBytes+1), false); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+// TestClosedStoreRefusesWork: operations after Close fail with ErrClosed.
+func TestClosedStoreRefusesWork(t *testing.T) {
+	s, _, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("x"), false); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact([]byte("s")); !errors.Is(err, ErrClosed) {
+		t.Errorf("compact after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close = %v, want nil", err)
+	}
+}
