@@ -184,6 +184,15 @@ func realMain() int {
 				float64(r.Simulated())/wall, float64(r.SimCycles())/wall,
 				time.Since(start).Round(time.Millisecond))
 		}
+		if ws := r.WindowSummary(); ws.Windows > 0 {
+			fmt.Fprintf(os.Stderr,
+				"gwsweep: windows: %d drained, %d merged barriers, %.1f events/window (max %d)",
+				ws.Windows, ws.Merges, ws.EventsPerWindow(), ws.MaxWindow)
+			if ws.Steals > 0 {
+				fmt.Fprintf(os.Stderr, ", %d steals", ws.Steals)
+			}
+			fmt.Fprintf(os.Stderr, ", fast path on %d/%d cells\n", ws.FastCells, ws.Cells)
+		}
 		if rc != nil {
 			s, _ := rc.RemoteStats()
 			fmt.Fprintf(os.Stderr, "gwsweep: remote cache: %d hits, %d misses, %d puts, %d errors",

@@ -54,6 +54,11 @@ type (
 	EnergyMeter = energy.Meter
 	// MsgClass is a coherence traffic class (GETS/GETX/UPGRADE/Data/Other).
 	MsgClass = stats.MsgClass
+	// WindowStats holds the window-scheduling counters of a run (windows
+	// drained, merge barriers, work steals, fast-path engagement). They
+	// describe how the simulation was driven, not what it computed, and are
+	// host-dependent — never part of Stats or a determinism fingerprint.
+	WindowStats = sim.WindowStats
 )
 
 // Protocol selects the coherence protocol. Each value names a registered
@@ -254,6 +259,9 @@ func (s *System) Energy() *EnergyMeter { return s.m.Energy() }
 
 // Cycles returns the current simulated time.
 func (s *System) Cycles() uint64 { return s.m.Cycles() }
+
+// WindowStats returns the window-scheduling counters accumulated so far.
+func (s *System) WindowStats() WindowStats { return s.m.WindowStats() }
 
 // ReadCoherent returns the system-wide coherent value at a (hidden GS/GI
 // updates excluded, per §3.5).

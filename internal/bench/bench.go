@@ -48,6 +48,15 @@ type Result struct {
 	// Derived throughputs: simulated work per wall-clock second.
 	SimCyclesPerSec float64 `json:"simCyclesPerSec"`
 	EventsPerSec    float64 `json:"eventsPerSec"`
+	// Window-occupancy counters of the warm run: how the window scheduler
+	// drove the simulation (fast path vs windows, barrier density, steals).
+	// Observability only — host-dependent, additive to the v1 schema, and
+	// absent from pre-PR-9 snapshots.
+	Windows         uint64  `json:"windows,omitempty"`
+	WindowMerges    uint64  `json:"windowMerges,omitempty"`
+	EventsPerWindow float64 `json:"eventsPerWindow,omitempty"`
+	Steals          uint64  `json:"steals,omitempty"`
+	FastPath        bool    `json:"fastPath,omitempty"`
 }
 
 // Snapshot is the BENCH_<n>.json payload. Baseline optionally embeds the
@@ -132,12 +141,17 @@ func Run(c Case, iters int) (Result, error) {
 
 	ns := float64(elapsed.Nanoseconds()) / float64(iters)
 	r := Result{
-		Name:        c.Name,
-		NsPerOp:     ns,
-		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
-		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
-		SimCycles:   warm.Cycles,
-		Events:      warm.Stats.Events,
+		Name:            c.Name,
+		NsPerOp:         ns,
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:      float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		SimCycles:       warm.Cycles,
+		Events:          warm.Stats.Events,
+		Windows:         warm.Window.Windows,
+		WindowMerges:    warm.Window.Merges,
+		EventsPerWindow: warm.Window.EventsPerWindow(),
+		Steals:          warm.Window.Steals,
+		FastPath:        warm.Window.FastPath,
 	}
 	if ns > 0 {
 		r.SimCyclesPerSec = float64(r.SimCycles) / (ns / 1e9)
@@ -152,6 +166,14 @@ func runOnce(c Case) (harness.RunResult, error) {
 
 // Take runs the whole suite and assembles a snapshot.
 func Take(iters int, progress func(string)) (*Snapshot, error) {
+	return TakeMatching(iters, nil, progress)
+}
+
+// TakeMatching is Take restricted to the suite cases match accepts (nil
+// accepts all) — the `gwbench -run` tuning loop. A filtered snapshot is
+// not a trajectory point: comparing it against a full baseline trips the
+// suite-drift check unless the baseline is filtered the same way.
+func TakeMatching(iters int, match func(Case) bool, progress func(string)) (*Snapshot, error) {
 	s := &Snapshot{
 		Schema:    Schema,
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -159,6 +181,9 @@ func Take(iters int, progress func(string)) (*Snapshot, error) {
 		Host:      CurrentHost(),
 	}
 	for _, c := range Suite() {
+		if match != nil && !match(c) {
+			continue
+		}
 		if progress != nil {
 			progress(c.Name)
 		}

@@ -122,3 +122,45 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatalf("throughputs not derived: %+v", r)
 	}
 }
+
+// TestTakeMatchingFilter pins the -run filter contract without running any
+// simulation: a match function that rejects everything must yield an empty
+// (but well-formed) snapshot, and the nil match must keep Take and
+// TakeMatching interchangeable over the frozen suite.
+func TestTakeMatchingFilter(t *testing.T) {
+	var ran []string
+	s, err := TakeMatching(1, func(Case) bool { return false }, func(name string) {
+		ran = append(ran, name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 0 || len(ran) != 0 {
+		t.Fatalf("reject-all filter still ran %v", ran)
+	}
+	if s.Schema != Schema || s.Host != CurrentHost() {
+		t.Fatalf("filtered snapshot malformed: %+v", s)
+	}
+}
+
+// TestTakeMatchingSelects runs exactly one suite case through the filter
+// and checks the new window-occupancy fields ride along in the result.
+func TestTakeMatchingSelects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	s, err := TakeMatching(1, func(c Case) bool { return c.Name == "bad_dot_product/d0" }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 || s.Results[0].Name != "bad_dot_product/d0" {
+		t.Fatalf("filter selected %+v, want exactly bad_dot_product/d0", s.Results)
+	}
+	r := s.Results[0]
+	if !r.FastPath {
+		t.Error("unsharded suite case did not report the fast path")
+	}
+	if r.Windows == 0 || r.EventsPerWindow <= 0 {
+		t.Errorf("window counters dead in bench result: %+v", r)
+	}
+}

@@ -53,6 +53,13 @@ type RunResult struct {
 	Energy  ghostwriter.EnergyMeter
 	// ErrorPct is the application's Table 2 metric, in percent.
 	ErrorPct float64
+	// Window holds the run's window-scheduling counters. It is excluded
+	// from JSON deliberately: the values are host-dependent observability
+	// (steals vary with OS scheduling), so they must not change cache
+	// entries, cache keys, or determinism fingerprints — all of which are
+	// derived from this struct's JSON form. Cache hits therefore report a
+	// zero Window, which is accurate: a hit drained no windows.
+	Window ghostwriter.WindowStats `json:"-"`
 }
 
 // IsZero reports whether r is the all-zero RunResult — what decoding `{}`

@@ -51,6 +51,12 @@ type TimingReport struct {
 	// the record that this report was assembled from fleet-produced cells,
 	// including how many crashed leases the dispatcher reclaimed.
 	Fleet *SweepStatus `json:"fleet,omitempty"`
+	// Window carries the window-occupancy aggregates of the freshly
+	// simulated cells (windows drained, merge barriers, steals, fast-path
+	// engagement) — the "why" behind the throughput numbers above. Like
+	// everything else in TimingReport it measures the host, not the
+	// simulation, and is absent when every cell was a cache hit.
+	Window *WindowSummary `json:"window,omitempty"`
 	// Cells lists every cell in grid order with its wall-clock cost.
 	Cells []CellTiming `json:"cells,omitempty"`
 }
@@ -134,6 +140,7 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		hitBefore  = r.CacheHits()
 		failBefore = r.Failures()
 		cycBefore  = r.SimCycles()
+		winBefore  = r.WindowSummary()
 	)
 	rep := &Report{Options: opt, Jobs: r.workers()}
 	var err error
@@ -167,6 +174,9 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 	if wallSec := rep.Timing.WallMS / 1000; wallSec > 0 {
 		rep.Timing.CellsPerSec = float64(rep.Timing.Simulated) / wallSec
 		rep.Timing.SimCyclesPerSec = float64(rep.Timing.SimCycles) / wallSec
+	}
+	if ws := r.WindowSummary().since(winBefore); ws.Cells > 0 {
+		rep.Timing.Window = &ws
 	}
 	if r.Cache != nil {
 		if rs, ok := remoteStatsOf(r.Cache); ok {

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ghostwriter"
 )
 
 // Job is one cell of an evaluation grid: a Spec plus a human-readable label
@@ -78,6 +80,15 @@ type Runner struct {
 	failures  atomic.Uint64
 	simCycles atomic.Uint64
 
+	// Window-occupancy aggregates over the cells this Runner simulated
+	// (cache hits drain no windows and contribute nothing).
+	winWindows   atomic.Uint64
+	winMerges    atomic.Uint64
+	winEvents    atomic.Uint64
+	winSteals    atomic.Uint64
+	winFastCells atomic.Uint64
+	winMaxWindow atomic.Uint64
+
 	mu       sync.Mutex
 	memo     map[string]RunResult
 	inflight map[string]*inflightCell
@@ -117,6 +128,78 @@ func (r *Runner) Failures() uint64 { return r.failures.Load() }
 // Runner simulated to completion (cache hits excluded — they cost no host
 // time, so counting them would inflate throughput figures).
 func (r *Runner) SimCycles() uint64 { return r.simCycles.Load() }
+
+// WindowSummary aggregates the window-scheduling counters of every cell a
+// sweep actually simulated: how many lookahead windows were drained, how
+// many of their barriers merged cross-tile effects, how densely windows
+// were packed, how often workers stole tile drains, and how many cells ran
+// on the single-shard fast path. Pure observability — host-dependent,
+// never part of a fingerprint or cached result.
+type WindowSummary struct {
+	Windows   uint64 `json:"windows"`   // lookahead windows drained
+	Merges    uint64 `json:"merges"`    // barriers that applied staged effects
+	Events    uint64 `json:"events"`    // events fired inside window drains
+	MaxWindow uint64 `json:"maxWindow"` // most events fired in one window
+	Steals    uint64 `json:"steals"`    // whole-tile drains stolen across workers
+	FastCells uint64 `json:"fastCells"` // cells that ran on the fast path
+	Cells     uint64 `json:"cells"`     // simulated cells contributing
+}
+
+// EventsPerWindow returns the sweep-wide mean events per drained window.
+func (w WindowSummary) EventsPerWindow() float64 {
+	if w.Windows == 0 {
+		return 0
+	}
+	return float64(w.Events) / float64(w.Windows)
+}
+
+// WindowSummary returns the aggregated window counters for this Runner's
+// simulated cells.
+func (r *Runner) WindowSummary() WindowSummary {
+	return WindowSummary{
+		Windows:   r.winWindows.Load(),
+		Merges:    r.winMerges.Load(),
+		Events:    r.winEvents.Load(),
+		MaxWindow: r.winMaxWindow.Load(),
+		Steals:    r.winSteals.Load(),
+		FastCells: r.winFastCells.Load(),
+		Cells:     r.simulated.Load(),
+	}
+}
+
+// since brackets a cumulative summary against an earlier snapshot. The
+// sums become deltas; MaxWindow stays the cumulative maximum (a maximum
+// cannot be un-folded, and a Runner-lifetime max is still the honest
+// answer to "how hot did a window get").
+func (w WindowSummary) since(prev WindowSummary) WindowSummary {
+	return WindowSummary{
+		Windows:   w.Windows - prev.Windows,
+		Merges:    w.Merges - prev.Merges,
+		Events:    w.Events - prev.Events,
+		MaxWindow: w.MaxWindow,
+		Steals:    w.Steals - prev.Steals,
+		FastCells: w.FastCells - prev.FastCells,
+		Cells:     w.Cells - prev.Cells,
+	}
+}
+
+// addWindowStats folds one simulated cell's window counters into the
+// sweep aggregates.
+func (r *Runner) addWindowStats(w ghostwriter.WindowStats) {
+	r.winWindows.Add(w.Windows)
+	r.winMerges.Add(w.Merges)
+	r.winEvents.Add(w.Events)
+	r.winSteals.Add(w.Steals)
+	if w.FastPath {
+		r.winFastCells.Add(1)
+	}
+	for {
+		cur := r.winMaxWindow.Load()
+		if w.MaxWindow <= cur || r.winMaxWindow.CompareAndSwap(cur, w.MaxWindow) {
+			return
+		}
+	}
+}
 
 // Run executes every job and returns one CellResult per job, in job order.
 // Cells run concurrently on the worker pool; a failing or panicking cell
@@ -262,6 +345,7 @@ func (r *Runner) runCell(j Job) (cr CellResult) {
 	}
 	r.simulated.Add(1)
 	r.simCycles.Add(cr.Result.Cycles)
+	r.addWindowStats(cr.Result.Window)
 	r.memoize(key, cr.Result)
 	if r.Cache != nil {
 		// A failed write only costs a resimulation next process; the sweep

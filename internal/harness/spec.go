@@ -155,5 +155,6 @@ func executeSpec(s Spec) (RunResult, error) {
 		Stats:    *sys.Stats(),
 		Energy:   *sys.Energy(),
 		ErrorPct: quality.Measure(f.Metric, app.Output(sys), app.Golden()),
+		Window:   sys.WindowStats(),
 	}, nil
 }

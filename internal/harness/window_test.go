@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestWindowStatsFlow pins the observability plumbing from the simulator
+// to the harness: a fresh (uncached) run carries live window counters in
+// RunResult.Window, the shard count selects the scheduler, and the
+// runner-level summary aggregates across cells. The counters are
+// host-dependent by design, so nothing here asserts magnitudes — only
+// liveness and mode selection.
+func TestWindowStatsFlow(t *testing.T) {
+	r := NewRunner(1)
+
+	opt := fastOptions()
+	res, err := r.RunApp("bad_dot_product", opt, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Window.FastPath {
+		t.Error("default (unsharded) run did not take the fast path")
+	}
+	if res.Window.Windows == 0 || res.Window.Events == 0 {
+		t.Errorf("window counters dead on a fresh run: %+v", res.Window)
+	}
+
+	opt.Shards = 4
+	sharded, err := r.RunApp("bad_dot_product", opt, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Window.FastPath {
+		t.Error("shards=4 run reports FastPath")
+	}
+	// The schedule is shard-invariant: same windows, merges, and events.
+	if sharded.Window.Windows != res.Window.Windows || sharded.Window.Merges != res.Window.Merges ||
+		sharded.Window.Events != res.Window.Events {
+		t.Errorf("schedule counters differ across shard modes:\n fast    %+v\n sharded %+v",
+			res.Window, sharded.Window)
+	}
+
+	sum := r.WindowSummary()
+	if sum.Cells != 2 {
+		t.Fatalf("WindowSummary.Cells = %d, want 2", sum.Cells)
+	}
+	if sum.FastCells != 1 {
+		t.Errorf("WindowSummary.FastCells = %d, want 1", sum.FastCells)
+	}
+	if want := res.Window.Windows + sharded.Window.Windows; sum.Windows != want {
+		t.Errorf("WindowSummary.Windows = %d, want %d", sum.Windows, want)
+	}
+	if sum.Events == 0 || sum.MaxWindow == 0 {
+		t.Errorf("summary counters dead: %+v", sum)
+	}
+	if sum.EventsPerWindow() <= 0 {
+		t.Errorf("EventsPerWindow = %v, want > 0", sum.EventsPerWindow())
+	}
+
+	// A memoized re-run must not inflate the aggregate: the cache hit
+	// reports a zero Window (no simulation happened), which is accurate.
+	if _, err := r.RunApp("bad_dot_product", opt, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	again := r.WindowSummary()
+	if again != sum {
+		t.Errorf("cache hit changed the summary:\n before %+v\n after  %+v", sum, again)
+	}
+}

@@ -370,6 +370,13 @@ func (m *Machine) Energy() *energy.Meter {
 // Cycles returns the current simulated time.
 func (m *Machine) Cycles() uint64 { return uint64(m.clu.Now()) }
 
+// WindowStats returns the cluster's window-scheduling counters (windows
+// drained, merge barriers, steals, fast-path engagement), cumulative since
+// construction. They describe how the run was driven, not what it
+// computed: the values are host- and shard-dependent, so they must never
+// enter Stats, a fingerprint, or a cached result.
+func (m *Machine) WindowStats() sim.WindowStats { return m.clu.WindowStats() }
+
 // dirFor returns the home directory object for a block address.
 func (m *Machine) dirFor(a mem.Addr) *coherence.Directory {
 	idx := int(uint64(a)/uint64(m.cfg.L1.BlockSize)) % len(m.dirs)

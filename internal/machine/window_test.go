@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghostwriter/internal/mem"
+	"ghostwriter/internal/sim"
+)
+
+// Window-boundary differential at the machine level: Compute bursts of
+// co-prime lengths walk the per-thread issue cycles across every residue
+// of the lookahead grid, so memory operations land on window-edge cycles
+// (the last cycle of one window, the first of the next) in every thread.
+// The fingerprint must be byte-identical across the single-shard fast
+// path (shards 1), light sharding (2), and fuller sharding (4); run
+// under -race this also exercises the work-stealing deques.
+
+// windowEdgeFingerprint is scribbleFingerprint's boundary-targeted twin:
+// same observable hash, but the kernel staggers issue cycles with
+// Compute(1..3) so ops cluster on window boundaries instead of being
+// smeared by uniform memory latency.
+func windowEdgeFingerprint(tb testing.TB, protocol string, shards int, seed uint64) string {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.Protocol = protocol
+	cfg.Shards = shards
+	m := New(cfg)
+
+	const (
+		threads = 6
+		blocks  = 16
+		ops     = 160
+	)
+	region := m.AllocPadded(blocks * 64)
+	for i := 0; i < blocks*64/8; i++ {
+		m.WriteBackingUint(region+mem.Addr(8*i), 8, splitmix64(seed+uint64(i)))
+	}
+
+	elapsed := m.Run(threads, func(th *Thread) {
+		r := splitmix64(seed ^ uint64(th.ID())*0xFEED)
+		th.SetApproxDist(4)
+		for i := 0; i < ops; i++ {
+			r = splitmix64(r)
+			// Burst lengths 1..3 are co-prime with the default lookahead
+			// (2), so consecutive ops issue on alternating grid residues
+			// and every thread repeatedly hits the window-edge cycle.
+			th.Compute(1 + r%3)
+			a := region + mem.Addr(r%uint64(blocks*64)&^3)
+			switch r >> 32 % 8 {
+			case 0, 1, 2:
+				th.Scribble32(a, uint32(r))
+			case 3, 4:
+				th.Store32(a, uint32(r>>8))
+			case 5, 6:
+				th.Load32(a)
+			default:
+				th.FetchAdd32(region+mem.Addr(th.ID()%4*64), 1)
+			}
+			if i == ops/2 {
+				th.Barrier()
+			}
+		}
+		th.Barrier()
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%d cycles=%d\n", elapsed, m.Cycles())
+	stj, err := json.Marshal(m.Stats())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Write(stj)
+	e := m.Energy()
+	fmt.Fprintf(&b, "\nenergy=%x/%x\n", e.MemoryPJ, e.NetworkPJ)
+	crj, err := json.Marshal(m.CoreReport())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Write(crj)
+	for i := 0; i < blocks*64/8; i++ {
+		fmt.Fprintf(&b, "%x,", m.ReadCoherent(region+mem.Addr(8*i), 8))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestWindowEdgeFingerprintAcrossShards is the CI-gated differential for
+// the PR-9 schedulers: shards 1 (fast path) vs 2 vs 4 must agree to the
+// byte for every registered protocol.
+func TestWindowEdgeFingerprintAcrossShards(t *testing.T) {
+	for _, p := range shardProtocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			want := windowEdgeFingerprint(t, p, 1, 0xB0DA)
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			got := make(map[int]string)
+			for _, shards := range []int{2, 4} {
+				shards := shards
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					fp := windowEdgeFingerprint(t, p, shards, 0xB0DA)
+					mu.Lock()
+					got[shards] = fp
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			for shards, fp := range got {
+				if fp != want {
+					t.Errorf("shards=%d fingerprint %s, want %s (fast path)", shards, fp, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWindowStatsByShardMode pins which scheduler each shard count
+// selects and that the observability counters are live: the fast path at
+// shards <= 1 (never stealing), the worker pool above it, and
+// window/merge counts that agree across modes (the schedule is
+// shard-invariant even though wall-clock is not).
+func TestWindowStatsByShardMode(t *testing.T) {
+	stats := func(shards int) sim.WindowStats {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		m := New(cfg)
+		region := m.AllocPadded(4 * 64)
+		m.Run(4, func(th *Thread) {
+			th.SetApproxDist(4)
+			for i := 0; i < 50; i++ {
+				th.Scribble32(region+mem.Addr(th.ID()%4*64), uint32(i))
+				th.Load32(region + mem.Addr((th.ID()+1)%4*64))
+			}
+			th.Barrier()
+		})
+		return m.WindowStats()
+	}
+
+	fast := stats(1)
+	if !fast.FastPath {
+		t.Error("shards=1 did not take the fast path")
+	}
+	if fast.Steals != 0 {
+		t.Errorf("fast path recorded %d steals; it has no workers", fast.Steals)
+	}
+	if fast.Windows == 0 || fast.Merges == 0 || fast.Events == 0 {
+		t.Errorf("fast-path counters dead: %+v", fast)
+	}
+
+	sharded := stats(4)
+	if sharded.FastPath {
+		t.Error("shards=4 reports FastPath")
+	}
+	if sharded.Windows != fast.Windows || sharded.Merges != fast.Merges || sharded.Events != fast.Events {
+		t.Errorf("schedule counters differ across modes:\n fast    %+v\n sharded %+v", fast, sharded)
+	}
+}

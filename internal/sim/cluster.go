@@ -16,6 +16,32 @@
 // goroutine or by S shard workers: shard count changes wall-clock time
 // only, never a single simulated byte. See DESIGN.md §12 for the lookahead
 // proof sketch and the merge-order argument.
+//
+// Three scheduling modes share that contract:
+//
+//   - Fast path (effective shards == 1): every tile aliases one shared
+//     Engine, so a window drain is a single fused runTo with no per-tile
+//     scan, no partition-minimum fold, and no atomic staging counter.
+//     Cross-tile effects collect in one buffer ordered by staging time and
+//     are put into canonical (at, tile, index) order with a stable
+//     insertion pass over equal-cycle runs. §12.7 argues schedule equality
+//     with the windowed mode.
+//   - Windowed sequential (test hook): the PR-7 per-tile layout drained by
+//     the caller's goroutine. Reachable only through newCluster, kept as
+//     the differential oracle for the fast path.
+//   - Windowed sharded (shards ≥ 2): per-tile layout drained by a worker
+//     pool. The coordinator builds each window's due-tile work list and
+//     deals it into per-worker bounded deques; owners pop LIFO, idle
+//     workers steal FIFO, so a hot tile no longer serializes its static
+//     partition. Stealing moves whole-tile drains only — which goroutine
+//     drains a tile is unobservable, so determinism is untouched.
+//
+// Windows whose barrier has no staged effects are *fused*: the merge
+// bookkeeping, next-cache repair, and the RunUntil predicate are all
+// skipped, and the next window start jumps straight to the grid window of
+// the earliest pending event (the exact bound the per-shard pmin fold
+// already computes). The predicate therefore runs only at merge barriers
+// and on idle — the only points where cross-tile state can change.
 package sim
 
 import (
@@ -41,6 +67,41 @@ type staged struct {
 	aux uint64
 }
 
+// fastStaged is a staged effect in fast-path mode, where one buffer serves
+// every tile and the source tile rides in the record so the merge can
+// recover the canonical (at, tile, index) order.
+type fastStaged struct {
+	at   Cycle
+	tile int32
+	h    StagedHandler
+	arg  any
+	aux  uint64
+}
+
+// WindowStats is a snapshot of the cluster's window-scheduling counters.
+// The values describe how the simulation was *driven* — windows, barriers,
+// steals — and are host- and shard-dependent in wall-clock-adjacent ways
+// (steals depend on OS scheduling), so they must never feed a determinism
+// fingerprint or a cached result. They exist to explain benchmark numbers.
+type WindowStats struct {
+	Windows     uint64 // lookahead windows drained (after empty-window skip)
+	Merges      uint64 // barriers that applied staged cross-tile effects
+	Staged      uint64 // staged effects applied across all merges
+	Events      uint64 // events fired inside window drains
+	MaxWindow   uint64 // most events fired in a single window
+	Steals      uint64 // whole-tile drains claimed from another worker's deque
+	InlineWaves uint64 // waves the coordinator drained without waking the pool
+	FastPath    bool   // single-shard fast path active (one shared engine)
+}
+
+// EventsPerWindow returns the mean events fired per drained window.
+func (ws WindowStats) EventsPerWindow() float64 {
+	if ws.Windows == 0 {
+		return 0
+	}
+	return float64(ws.Events) / float64(ws.Windows)
+}
+
 // Cluster is a set of per-tile Engines advancing in lockstep lookahead
 // windows. Shards sets only the number of worker goroutines that drain
 // tiles during a window — the simulated schedule is shard-count-invariant
@@ -52,6 +113,15 @@ type Cluster struct {
 	base      Cycle // start of the next window (multiple of lookahead)
 	horizon   Cycle // end of the window being merged; 0 outside merge
 
+	// Fast path (effective shards == 1): all tiles alias shared, staged
+	// effects collect in fastbox, and fastNext caches the engine's next
+	// pending cycle between steps (valid when nextValid).
+	fast       bool
+	shared     *Engine
+	fastbox    []fastStaged
+	fastNext   Cycle
+	fastNextOK bool
+
 	outbox  [][]staged   // per-source-tile staging buffers
 	oidx    []int        // merge read cursors, one per outbox
 	nstaged atomic.Int64 // effects staged in the current window (workers race on it)
@@ -62,26 +132,55 @@ type Cluster struct {
 	// Entries stay valid between merges because only a tile's own drain
 	// mutates its queue; nextValid goes false whenever events may have been
 	// scheduled outside a drain (merge handlers, inter-run scheduling).
-	// pmin[s] is shard s's partition minimum over next, folded with the
-	// merge minima into minCache so the per-window global minimum costs
+	// pmin[s] is the minimum next-event cycle over the tiles worker s
+	// drained this wave and pfired[s] the events it fired; skipMin covers
+	// the tiles the wave skipped, so the per-window global minimum costs
 	// O(shards) instead of an O(tiles) rescan.
 	next      []Cycle
 	pmin      []Cycle
+	pfired    []uint64
+	skipMin   Cycle
+	work      []int32 // due-tile work list for the current wave
 	minCache  Cycle
 	nextValid bool
 
 	// Shard worker pool, live only inside RunUntil/Drain (persistent
 	// goroutines would outlive the owning machine: tests build thousands).
+	// Each worker owns deq[s]; idle workers steal whole-tile drains from
+	// the other deques.
+	deq     []tileDeque
 	starts  []chan Cycle // per-shard window-start signal carrying the drain deadline
 	dones   chan struct{}
 	panics  []any // per-shard recovered panic, re-raised by the coordinator
 	running bool
+
+	// Window-occupancy counters behind WindowStats. steals is atomic
+	// because workers race on it; the rest are coordinator-only.
+	windows         uint64
+	merges          uint64
+	stagedApplied   uint64
+	events          uint64
+	maxWindowEvents uint64
+	inlineWaves     uint64
+	steals          atomic.Uint64
 }
 
 // NewCluster builds a cluster of tiles zero-valued Engines advancing in
-// windows of the given lookahead. shards is clamped to [1, tiles]; 1 means
-// the caller's goroutine drains every tile itself.
+// windows of the given lookahead. shards is clamped to [1, tiles]; at an
+// effective shard count of 1 the cluster takes the single-shard fast path:
+// every tile aliases one shared engine and the window machinery reduces to
+// fused runTo drains (see the package comment and DESIGN.md §12.7).
 func NewCluster(tiles int, lookahead Cycle, shards int) *Cluster {
+	if shards > tiles {
+		shards = tiles
+	}
+	return newCluster(tiles, lookahead, shards, shards <= 1)
+}
+
+// newCluster is NewCluster with the fast path explicitly selectable, so
+// tests can build the windowed sequential layout (fast=false, shards=1) as
+// a differential oracle against the fast path.
+func newCluster(tiles int, lookahead Cycle, shards int, fast bool) *Cluster {
 	if tiles <= 0 {
 		panic("sim: cluster needs at least one tile")
 	}
@@ -98,11 +197,27 @@ func NewCluster(tiles int, lookahead Cycle, shards int) *Cluster {
 		tiles:     make([]*Engine, tiles),
 		lookahead: lookahead,
 		shards:    shards,
-		outbox:    make([][]staged, tiles),
-		oidx:      make([]int, tiles),
-		live:      make([]int32, 0, tiles),
 		next:      make([]Cycle, tiles),
 		pmin:      make([]Cycle, shards),
+		pfired:    make([]uint64, shards),
+		work:      make([]int32, 0, tiles),
+	}
+	if fast && shards == 1 {
+		c.fast = true
+		e := &Engine{minSched: noMinSched}
+		e.SetLabel(fmt.Sprintf("shared engine (fast path, %d tiles)", tiles))
+		c.shared = e
+		for i := range c.tiles {
+			c.tiles[i] = e
+		}
+		return c
+	}
+	c.outbox = make([][]staged, tiles)
+	c.oidx = make([]int, tiles)
+	c.live = make([]int32, 0, tiles)
+	c.deq = make([]tileDeque, shards)
+	for s := range c.deq {
+		c.deq[s].buf = make([]int32, tiles)
 	}
 	for i := range c.tiles {
 		e := &Engine{minSched: noMinSched}
@@ -122,7 +237,8 @@ func (c *Cluster) Shards() int { return c.shards }
 func (c *Cluster) Lookahead() Cycle { return c.lookahead }
 
 // Tile returns tile i's engine. Components bound to tile i schedule
-// tile-local work on it directly.
+// tile-local work on it directly. In fast-path mode every tile returns the
+// one shared engine.
 func (c *Cluster) Tile(i int) *Engine { return c.tiles[i] }
 
 // Now returns the current simulated cycle. All tiles share one clock at
@@ -142,6 +258,9 @@ func (c *Cluster) Horizon() Cycle { return c.horizon }
 
 // Fired returns the total events fired across all tiles.
 func (c *Cluster) Fired() uint64 {
+	if c.fast {
+		return c.shared.Fired()
+	}
 	var n uint64
 	for _, t := range c.tiles {
 		n += t.Fired()
@@ -153,11 +272,30 @@ func (c *Cluster) Fired() uint64 {
 // tiles. Staged effects are always empty at window boundaries, so they do
 // not contribute.
 func (c *Cluster) Pending() int {
+	if c.fast {
+		return c.shared.Pending()
+	}
 	n := 0
 	for _, t := range c.tiles {
 		n += t.Pending()
 	}
 	return n
+}
+
+// WindowStats returns a snapshot of the window-scheduling counters,
+// cumulative since construction. Safe to call between runs only (the
+// coordinator owns most counters).
+func (c *Cluster) WindowStats() WindowStats {
+	return WindowStats{
+		Windows:     c.windows,
+		Merges:      c.merges,
+		Staged:      c.stagedApplied,
+		Events:      c.events,
+		MaxWindow:   c.maxWindowEvents,
+		Steals:      c.steals.Load(),
+		InlineWaves: c.inlineWaves,
+		FastPath:    c.fast,
+	}
 }
 
 // Stage queues a cross-tile effect from the given source tile, stamped
@@ -168,6 +306,13 @@ func (c *Cluster) Pending() int {
 func (c *Cluster) Stage(tile int, h StagedHandler, arg any, aux uint64) {
 	if c.horizon != 0 {
 		panic("sim: Stage called during a window merge")
+	}
+	if c.fast {
+		// One goroutine, one clock: at is non-decreasing across appends, so
+		// the buffer is already at-sorted and the merge only has to order
+		// equal-cycle runs by tile.
+		c.fastbox = append(c.fastbox, fastStaged{at: c.shared.Now(), tile: int32(tile), h: h, arg: arg, aux: aux})
+		return
 	}
 	c.outbox[tile] = append(c.outbox[tile], staged{at: c.tiles[tile].Now(), h: h, arg: arg, aux: aux})
 	c.nstaged.Add(1)
@@ -200,13 +345,96 @@ func (c *Cluster) minNext() (Cycle, bool) {
 	return c.minCache, c.minCache != nextNone
 }
 
-// window drains and merges one lookahead window, skipping ahead over empty
-// windows. It reports whether any event was pending (false = fully idle,
-// nothing fired, nothing merged).
-func (c *Cluster) window() bool {
+// step drains one lookahead window and merges its barrier if anything was
+// staged. merged reports whether a merge ran (the only transitions where
+// cross-tile state changes); idle reports a fully drained cluster (nothing
+// fired, nothing merged).
+func (c *Cluster) step() (merged, idle bool) {
+	if c.fast {
+		return c.stepFast()
+	}
+	return c.stepWindowed()
+}
+
+// stepFast is step on the single-shard fast path: one shared engine, one
+// fused runTo per window, one staging buffer. The window grid, barrier
+// placement, and merge order are identical to the windowed mode — only the
+// machinery is gone.
+func (c *Cluster) stepFast() (merged, idle bool) {
+	e := c.shared
+	if !c.nextValid {
+		c.fastNext, c.fastNextOK = e.NextAt()
+		e.minSched = noMinSched
+		c.nextValid = true
+	}
+	if !c.fastNextOK {
+		return false, true
+	}
+	if c.fastNext >= c.base+c.lookahead {
+		// Skip empty windows: jump to the grid-aligned window containing
+		// the earliest event. The grid is anchored at cycle 0 in multiples
+		// of the lookahead, identical to the windowed mode's jump.
+		c.base = c.fastNext / c.lookahead * c.lookahead
+	}
+	end := c.base + c.lookahead
+	f0 := e.fired
+	next, ok := e.runTo(end - 1)
+	// runTo's return is exact, so drop drain-phase scheduling tracking and
+	// re-arm for the merge handlers.
+	e.minSched = noMinSched
+	fired := e.fired - f0
+	c.windows++
+	c.events += fired
+	if fired > c.maxWindowEvents {
+		c.maxWindowEvents = fired
+	}
+	if len(c.fastbox) > 0 {
+		c.stagedApplied += uint64(len(c.fastbox))
+		c.mergeFast(end)
+		if m := e.takeMinSched(); m != noMinSched && (!ok || m < next) {
+			next, ok = m, true
+		}
+		c.merges++
+		merged = true
+	}
+	c.fastNext, c.fastNextOK = next, ok
+	c.base = end
+	return merged, false
+}
+
+// mergeFast applies the fast-path staging buffer in canonical (at, source
+// tile, staging index) order. The buffer is at-sorted by construction
+// (one goroutine, monotone clock), so a stable insertion pass that only
+// reorders equal-at runs by tile recovers exactly the order the windowed
+// merge's K-way head scan would produce.
+func (c *Cluster) mergeFast(end Cycle) {
+	c.horizon = end
+	box := c.fastbox
+	for i := 1; i < len(box); i++ {
+		s := box[i]
+		j := i
+		for j > 0 && box[j-1].at == s.at && box[j-1].tile > s.tile {
+			box[j] = box[j-1]
+			j--
+		}
+		box[j] = s
+	}
+	for i := range box {
+		s := &box[i]
+		h, at, arg, aux := s.h, s.at, s.arg, s.aux
+		s.h, s.arg = nil, nil // release references; the buffer is reused
+		h(at, arg, aux)
+	}
+	c.fastbox = box[:0]
+	c.horizon = 0
+}
+
+// stepWindowed is step on the per-tile windowed layout (sequential or
+// sharded).
+func (c *Cluster) stepWindowed() (merged, idle bool) {
 	min, ok := c.minNext()
 	if !ok {
-		return false
+		return false, true
 	}
 	if min >= c.base+c.lookahead {
 		// Skip empty windows: jump to the grid-aligned window containing
@@ -217,15 +445,23 @@ func (c *Cluster) window() bool {
 	}
 	end := c.base + c.lookahead
 	c.drainWave(end - 1)
-	// Fold the per-shard partition minima the drain just computed; entries
-	// beyond pmin[0] exist only when the worker pool is running.
-	nmin := c.pmin[0]
-	for _, m := range c.pmin[1:c.shards] {
-		if m < nmin {
-			nmin = m
+	// Fold the skipped-tile minimum with the per-worker drain minima and
+	// fired counts the wave just computed.
+	nmin := c.skipMin
+	var fired uint64
+	for s := 0; s < c.shards; s++ {
+		if c.pmin[s] < nmin {
+			nmin = c.pmin[s]
 		}
+		fired += c.pfired[s]
 	}
-	if c.nstaged.Load() > 0 {
+	c.windows++
+	c.events += fired
+	if fired > c.maxWindowEvents {
+		c.maxWindowEvents = fired
+	}
+	if n := c.nstaged.Load(); n > 0 {
+		c.stagedApplied += uint64(n)
 		c.merge(end)
 		// Merge handlers schedule onto arbitrary tiles (including skipped
 		// ones). Each tile tracked the lowest cycle scheduled on it, so the
@@ -241,25 +477,79 @@ func (c *Cluster) window() bool {
 				nmin = m
 			}
 		}
+		c.merges++
+		merged = true
 	}
 	c.minCache = nmin
 	c.base = end
-	return true
+	return merged, false
 }
 
+// inlineWaveMax is the largest due-tile count the coordinator drains
+// itself rather than waking the worker pool: below it the channel
+// handshake costs more than the drains.
+const inlineWaveMax = 2
+
 // drainWave advances every tile with work due to the deadline (firing all
-// events at or before it), in parallel when shard workers are running. Tiles
-// whose cached next event lies past the deadline are skipped entirely —
-// their clocks lag behind, which is safe: a tile's clock only gates its own
-// scheduling (monotonic, so the wheel/overflow pop-order invariants hold),
-// and every cross-tile effect lands at an absolute cycle ≥ the merge
-// horizon. A panic on any worker is re-raised here on the coordinator once
-// the wave completes, so model violations surface on the goroutine that
-// called Run.
+// events at or before it), in parallel when shard workers are running. The
+// coordinator scans the next-event cache once to build the wave's due-tile
+// work list (folding the skipped tiles' minimum into skipMin), then either
+// drains the list inline — when the pool is not running or the list is
+// tiny — or deals it into the per-worker deques and releases the pool.
+// Tiles whose cached next event lies past the deadline are skipped
+// entirely — their clocks lag behind, which is safe: a tile's clock only
+// gates its own scheduling (monotonic, so the wheel/overflow pop-order
+// invariants hold), and every cross-tile effect lands at an absolute cycle
+// ≥ the merge horizon. A panic on any worker is re-raised here on the
+// coordinator once the wave completes, so model violations surface on the
+// goroutine that called Run.
 func (c *Cluster) drainWave(deadline Cycle) {
-	if !c.running {
-		c.drainTiles(0, 1, deadline)
+	work := c.work[:0]
+	skipMin := nextNone
+	for ti, n := range c.next {
+		if n > deadline {
+			if n < skipMin {
+				skipMin = n
+			}
+			continue
+		}
+		work = append(work, int32(ti))
+	}
+	c.work = work
+	c.skipMin = skipMin
+	if !c.running || len(work) <= inlineWaveMax {
+		if c.running {
+			c.inlineWaves++
+		}
+		min := nextNone
+		var fired uint64
+		for _, ti := range work {
+			c.drainTile(int(ti), deadline, &min, &fired)
+		}
+		c.pmin[0], c.pfired[0] = min, fired
+		for s := 1; s < c.shards; s++ {
+			c.pmin[s], c.pfired[s] = nextNone, 0
+		}
 		return
+	}
+	// Deal the due tiles into the workers' deques by home shard (the same
+	// ti mod shards mapping the static partition used, for cache affinity
+	// across waves). The owner drains its deque LIFO; workers that run dry
+	// steal FIFO from the others, so an imbalanced wave no longer runs at
+	// the speed of its slowest static partition.
+	for s := range c.deq {
+		c.deq[s].n = 0
+	}
+	for _, ti := range work {
+		d := &c.deq[int(ti)%c.shards]
+		d.buf[d.n] = ti
+		d.n++
+	}
+	// Publishing top/bot after the fill is safe: workers are parked until
+	// the start send below, which orders the writes before their reads.
+	for s := range c.deq {
+		c.deq[s].top.Store(0)
+		c.deq[s].bot.Store(int64(c.deq[s].n))
 	}
 	for s := 0; s < c.shards; s++ {
 		c.starts[s] <- deadline
@@ -277,6 +567,28 @@ func (c *Cluster) drainWave(deadline Cycle) {
 	if rethrow != nil {
 		panic(rethrow)
 	}
+}
+
+// drainTile advances one tile to the deadline, folding its post-drain next
+// cycle into *min and the events it fired into *fired. Concurrent callers
+// always hold disjoint tiles (a tile leaves a deque exactly once), so the
+// next-cache entry write never races.
+func (c *Cluster) drainTile(ti int, deadline Cycle, min *Cycle, fired *uint64) {
+	t := c.tiles[ti]
+	f0 := t.fired
+	if at, ok := t.runTo(deadline); ok {
+		c.next[ti] = at
+		if at < *min {
+			*min = at
+		}
+	} else {
+		c.next[ti] = nextNone
+	}
+	*fired += t.fired - f0
+	// Cycles the drain scheduled into this tile are captured exactly by
+	// runTo's return; re-arm the tracker so it reports only merge-phase
+	// scheduling.
+	t.minSched = noMinSched
 }
 
 // merge applies all staged cross-tile effects in (at, source tile, staging
@@ -325,41 +637,50 @@ func (c *Cluster) merge(end Cycle) {
 	c.horizon = 0
 }
 
-// drainTiles drains tiles s, s+stride, s+2*stride, … to the deadline,
-// consulting and updating the next-event cache. The strided partition means
-// concurrent workers touch disjoint cache entries; each records its
-// partition's post-drain minimum in pmin[s] (skipped tiles included) so the
-// coordinator folds shard minima instead of rescanning every tile.
-func (c *Cluster) drainTiles(s, stride int, deadline Cycle) {
+// drainShard is one worker's share of a wave: drain the home deque LIFO,
+// then steal whole-tile drains FIFO from the other workers until every
+// deque is observed empty. The fold order of min/fired over the tiles a
+// worker happens to drain is irrelevant (min and sum commute), and which
+// worker drains a tile is unobservable to the simulation, so stealing
+// cannot perturb the schedule.
+func (c *Cluster) drainShard(s int, deadline Cycle) {
 	min := nextNone
-	for ti := s; ti < len(c.tiles); ti += stride {
-		if n := c.next[ti]; n > deadline {
-			if n < min {
-				min = n
-			}
-			continue
+	var fired uint64
+	for {
+		ti, ok := c.deq[s].pop()
+		if !ok {
+			break
 		}
-		t := c.tiles[ti]
-		if at, ok := t.runTo(deadline); ok {
-			c.next[ti] = at
-			if at < min {
-				min = at
-			}
-		} else {
-			c.next[ti] = nextNone
-		}
-		// Cycles the drain scheduled into this tile are captured exactly by
-		// runTo's return; re-arm the tracker so it reports only merge-phase
-		// scheduling.
-		t.minSched = noMinSched
+		c.drainTile(int(ti), deadline, &min, &fired)
 	}
-	c.pmin[s] = min
+	for swept := false; !swept; {
+		swept = true
+		for off := 1; off < c.shards; off++ {
+			v := s + off
+			if v >= c.shards {
+				v -= c.shards
+			}
+			for {
+				ti, st := c.deq[v].steal()
+				if st == dqStolen {
+					c.steals.Add(1)
+					c.drainTile(int(ti), deadline, &min, &fired)
+					swept = false
+					continue
+				}
+				if st == dqRetry {
+					swept = false // lost a race for a visible item; re-sweep
+				}
+				break
+			}
+		}
+	}
+	c.pmin[s], c.pfired[s] = min, fired
 }
 
-// worker is one shard's drain loop: tiles are statically partitioned
-// round-robin by index, so tile→shard ownership never changes. The channels
-// and panic slot are passed in rather than read off the Cluster, so a worker
-// scheduled late never races stopWorkers replacing the per-run fields.
+// worker is one shard's drain loop. The channels and panic slot are passed
+// in rather than read off the Cluster, so a worker scheduled late never
+// races stopWorkers replacing the per-run fields.
 func (c *Cluster) worker(s int, start <-chan Cycle, dones chan<- struct{}, panics []any) {
 	for deadline := range start {
 		func() {
@@ -369,7 +690,7 @@ func (c *Cluster) worker(s int, start <-chan Cycle, dones chan<- struct{}, panic
 				}
 				dones <- struct{}{}
 			}()
-			c.drainTiles(s, c.shards, deadline)
+			c.drainShard(s, deadline)
 		}()
 	}
 }
@@ -406,6 +727,11 @@ func (c *Cluster) stopWorkers() {
 // probes) lands on the window grid. Call only when all queues are empty —
 // typically right after a successful Drain.
 func (c *Cluster) Align() {
+	if c.fast {
+		c.shared.RunTo(c.base)
+		c.nextValid = false
+		return
+	}
 	for _, t := range c.tiles {
 		t.RunTo(c.base)
 	}
@@ -413,16 +739,24 @@ func (c *Cluster) Align() {
 }
 
 // RunUntil advances windows until the predicate holds or every tile
-// drains. The predicate is evaluated at window barriers (after the merge),
-// the only points where cross-tile state is coherent. It returns true if
-// the predicate was satisfied.
+// drains. The predicate is evaluated at merge barriers and on idle — the
+// only points where cross-tile state changes, so the only points where its
+// value can flip. Windows whose barrier merged nothing are fused straight
+// into the next drain without re-evaluating it. It returns true if the
+// predicate was satisfied.
 func (c *Cluster) RunUntil(done func() bool) bool {
 	c.nextValid = false // events may have been scheduled since the last run
 	c.startWorkers()
 	defer c.stopWorkers()
 	for !done() {
-		if !c.window() {
-			return done()
+		for {
+			merged, idle := c.step()
+			if idle {
+				return done()
+			}
+			if merged {
+				break
+			}
 		}
 	}
 	return true
@@ -435,12 +769,13 @@ func (c *Cluster) Drain(limit uint64) (fired uint64, drained bool) {
 	c.nextValid = false // events may have been scheduled since the last run
 	c.startWorkers()
 	defer c.stopWorkers()
-	start := c.Fired()
+	start := c.events
 	for {
-		if !c.window() {
-			return c.Fired() - start, true
+		_, idle := c.step()
+		if idle {
+			return c.events - start, true
 		}
-		if f := c.Fired() - start; f > limit {
+		if f := c.events - start; f > limit {
 			return f, false
 		}
 	}

@@ -172,27 +172,46 @@ func TestClusterAlign(t *testing.T) {
 	}
 }
 
-// TestClusterRunUntil pins predicate evaluation at window barriers and the
-// idle return value.
+// TestClusterRunUntil pins predicate evaluation at merge barriers and on
+// idle — the only points where cross-tile state can change, so the only
+// points where the predicate's value can flip. Windows whose barrier
+// merged nothing are fused past without re-evaluating it.
 func TestClusterRunUntil(t *testing.T) {
+	// Local-only work never merges, so the run fuses straight to idle even
+	// though the predicate flips partway through: the flip is observed only
+	// at the idle check.
 	c := NewCluster(2, 2, 1)
 	count := 0
 	for i := Cycle(1); i <= 10; i++ {
-		c.Tile(int(i) % 2).At(i, func() { count++ })
+		c.Tile(int(i)%2).At(i, func() { count++ })
 	}
 	if !c.RunUntil(func() bool { return count >= 5 }) {
 		t.Fatal("RunUntil did not satisfy the predicate")
 	}
-	// The predicate is checked at barriers: count is a multiple of the
-	// per-window event count (2 per window here), not exactly 5.
-	if count < 5 || count > 6 {
-		t.Fatalf("count = %d at barrier, want 5..6", count)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 (merge-free windows fuse to idle)", count)
 	}
 	if c.RunUntil(func() bool { return false }) {
 		t.Fatal("RunUntil reported success after draining idle")
 	}
-	if count != 10 {
-		t.Fatalf("count = %d after full drain, want 10", count)
+
+	// Cross-tile staging forces a merge at every window barrier; the
+	// predicate is evaluated at each one, so the run stops at the first
+	// barrier where it holds — after exactly 3 of the 5 staged windows.
+	c = NewCluster(2, 2, 1)
+	count = 0
+	noop := func(Cycle, any, uint64) {}
+	for i := 0; i < 5; i++ {
+		c.Tile(0).At(Cycle(2*i+1), func() {
+			count++
+			c.Stage(0, noop, nil, 0)
+		})
+	}
+	if !c.RunUntil(func() bool { return count >= 3 }) {
+		t.Fatal("RunUntil did not satisfy the predicate")
+	}
+	if count != 3 {
+		t.Fatalf("count = %d at merge barrier, want exactly 3", count)
 	}
 }
 

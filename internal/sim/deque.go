@@ -1,0 +1,81 @@
+// Bounded Chase-Lev work-stealing deque specialized to tile indices.
+//
+// Each shard worker owns one deque for the duration of a wave. The
+// coordinator fills it single-threaded between waves (buf and n are
+// plain; the handshake channel send orders the writes before any worker
+// reads), then workers race: the owner pops from the bottom (LIFO, cheap,
+// cache-warm), thieves steal from the top (FIFO, one CAS per steal). Only
+// whole-tile window drains move between workers, so the deque never
+// influences the simulated schedule — it decides *who* drains a tile,
+// never *what order* events fire in.
+//
+// This is the classic Chase-Lev algorithm (SPAA '05) restricted to the
+// easy case: no concurrent pushes (the buffer is sealed before workers
+// start), so there is no growth path and no bottom-increment race. Go's
+// sync/atomic operations are sequentially consistent, which covers the
+// store-load fence the owner needs between reserving the bottom slot and
+// reading top.
+package sim
+
+import "sync/atomic"
+
+// Steal outcomes. dqRetry means the CAS lost to another consumer while an
+// item was visible — the caller should re-examine the deque rather than
+// conclude it is empty.
+const (
+	dqEmpty = iota
+	dqStolen
+	dqRetry
+)
+
+// tileDeque is one worker's wave-scoped queue of due tiles. top advances
+// on steals (FIFO end), bot retreats on owner pops (LIFO end); the wave is
+// done when top ≥ bot in every deque. The trailing pad keeps neighboring
+// deques' hot words off one cache line.
+type tileDeque struct {
+	buf []int32
+	n   int // fill cursor; coordinator-only, between waves
+	top atomic.Int64
+	bot atomic.Int64
+	_   [40]byte
+}
+
+// pop takes the newest item from the owner's end. Only the owning worker
+// may call it. The final item is arbitrated against thieves with a CAS on
+// top, so an item is claimed exactly once.
+func (d *tileDeque) pop() (int32, bool) {
+	b := d.bot.Add(-1) // reserve the bottom slot before reading top
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation. Thieves that read the transient
+		// bottom see "empty", which is safe — the owner is taking the
+		// remaining items.
+		d.bot.Store(t)
+		return 0, false
+	}
+	v := d.buf[b]
+	if t == b {
+		// Last item: win it from any concurrent thief or concede it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			d.bot.Store(t + 1)
+			return 0, false
+		}
+		d.bot.Store(t + 1)
+	}
+	return v, true
+}
+
+// steal takes the oldest item from the thief end. Any worker other than
+// the owner may call it concurrently with pops and other steals.
+func (d *tileDeque) steal() (int32, int) {
+	t := d.top.Load()
+	b := d.bot.Load()
+	if t >= b {
+		return 0, dqEmpty
+	}
+	v := d.buf[t]
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, dqRetry
+	}
+	return v, dqStolen
+}

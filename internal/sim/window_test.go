@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Window-boundary edge tests: events exactly at the window edge, a
+// lookahead of a single cycle, zero-lookahead construction guards, and
+// same-cycle cross-tile effects landing on the barrier boundary. Each
+// event graph must produce identical per-tile firing logs and an
+// identical merge log on the single-shard fast path, the windowed
+// sequential layout (the PR-7 oracle), and sharded worker pools — the
+// windowed-schedule contract of DESIGN.md §12.
+
+// winLog records what a cluster run did: per-tile firing logs (tiles are
+// drained concurrently under sharding, so logs must be tile-private) and
+// the coordinator-only merge log.
+type winLog struct {
+	tiles [][]string
+	merge []string
+}
+
+// runWindowGraph builds a cluster in the given mode, lets build schedule
+// the event graph, drains it, and returns the logs.
+func runWindowGraph(t *testing.T, tiles int, lookahead Cycle, shards int, fast bool, build func(c *Cluster, l *winLog)) winLog {
+	t.Helper()
+	c := newCluster(tiles, lookahead, shards, fast)
+	l := winLog{tiles: make([][]string, tiles)}
+	build(c, &l)
+	if _, drained := c.Drain(1_000_000); !drained {
+		t.Fatal("did not drain")
+	}
+	return l
+}
+
+// assertWindowInvariant runs the graph on the fast path and then on the
+// windowed layouts, requiring identical logs everywhere. The fast path is
+// the "want" side deliberately: any divergence names the mode that broke.
+func assertWindowInvariant(t *testing.T, tiles int, lookahead Cycle, build func(c *Cluster, l *winLog)) {
+	t.Helper()
+	want := runWindowGraph(t, tiles, lookahead, 1, true, build)
+	for _, cf := range []struct {
+		name   string
+		shards int
+	}{
+		{"windowed-seq", 1},
+		{"shards-2", 2},
+		{"shards-4", 4},
+	} {
+		got := runWindowGraph(t, tiles, lookahead, cf.shards, false, build)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s diverges from fast path:\n got %+v\nwant %+v", cf.name, got, want)
+		}
+	}
+}
+
+// TestWindowEdgeEvents pins events on both sides of a window edge: the
+// last cycle of a window (L-1 on the cycle-0 grid), the first cycle of
+// the next (exactly L), and chains that re-schedule from one onto the
+// other. Cross-tile pings staged on the last cycle of a window merge at
+// the very next barrier and deliver on the boundary cycle itself.
+func TestWindowEdgeEvents(t *testing.T) {
+	const tiles = 4
+	const L = Cycle(4)
+	assertWindowInvariant(t, tiles, L, func(c *Cluster, l *winLog) {
+		rec := func(ti int, tag string) {
+			l.tiles[ti] = append(l.tiles[ti], fmt.Sprintf("%s@%d", tag, c.Tile(ti).Now()))
+		}
+		deliver := func(at Cycle, arg any, aux uint64) {
+			src, dst := int(aux>>8), int(aux&0xff)
+			l.merge = append(l.merge, fmt.Sprintf("%d->%d@%d (h=%d)", src, dst, at, c.Horizon()))
+			dst2 := dst
+			c.Tile(dst).At(c.Horizon(), func() { rec(dst2, "deliver") })
+		}
+		for ti := 0; ti < tiles; ti++ {
+			ti := ti
+			// Last cycle of window 0: fire, stage a ping to the next tile,
+			// and schedule locally onto the first cycle of window 1.
+			c.Tile(ti).At(L-1, func() {
+				rec(ti, "edge-1")
+				c.Stage(ti, deliver, nil, uint64(ti)<<8|uint64((ti+1)%tiles))
+				c.Tile(ti).At(L, func() { rec(ti, "edge") })
+			})
+			// An event scheduled directly on the window edge, before the run.
+			c.Tile(ti).At(L, func() { rec(ti, "pre-edge") })
+			// And one a full window later, to cross a skip-ahead.
+			c.Tile(ti).At(3*L, func() { rec(ti, "far") })
+		}
+	})
+}
+
+// TestWindowLookaheadOne pins the degenerate grid where every cycle is its
+// own window: L = 1 makes every barrier a potential merge and every event
+// a boundary event.
+func TestWindowLookaheadOne(t *testing.T) {
+	const tiles = 4
+	assertWindowInvariant(t, tiles, 1, func(c *Cluster, l *winLog) {
+		rec := func(ti int, tag string) {
+			l.tiles[ti] = append(l.tiles[ti], fmt.Sprintf("%s@%d", tag, c.Tile(ti).Now()))
+		}
+		var hop StagedHandler
+		hop = func(at Cycle, arg any, aux uint64) {
+			src, dst, hops := int(aux>>16), int(aux>>8&0xff), int(aux&0xff)
+			l.merge = append(l.merge, fmt.Sprintf("%d->%d@%d", src, dst, at))
+			dst2, hops2 := dst, hops
+			c.Tile(dst).At(c.Horizon(), func() {
+				rec(dst2, "hop")
+				if hops2 > 0 {
+					c.Stage(dst2, hop, nil, uint64(dst2)<<16|uint64((dst2+1)%tiles)<<8|uint64(hops2-1))
+				}
+			})
+		}
+		for ti := 0; ti < tiles; ti++ {
+			ti := ti
+			c.Tile(ti).At(Cycle(ti), func() {
+				rec(ti, "start")
+				c.Stage(ti, hop, nil, uint64(ti)<<16|uint64((ti+1)%tiles)<<8|3)
+			})
+		}
+	})
+}
+
+// TestWindowSameCycleCrossTileAtBarrier pins the canonical merge order
+// when several tiles stage effects in the same cycle — the barrier
+// boundary cycle — and every delivery lands exactly on the horizon. The
+// merge log must order the ties by source tile, and deliveries to one
+// destination must apply in that same order.
+func TestWindowSameCycleCrossTileAtBarrier(t *testing.T) {
+	const tiles = 4
+	const L = Cycle(2)
+	assertWindowInvariant(t, tiles, L, func(c *Cluster, l *winLog) {
+		deliver := func(at Cycle, arg any, aux uint64) {
+			src, dst := int(aux>>8), int(aux&0xff)
+			l.merge = append(l.merge, fmt.Sprintf("%d->%d@%d", src, dst, at))
+			src2, dst2 := src, dst
+			c.Tile(dst).At(c.Horizon(), func() {
+				l.tiles[dst2] = append(l.tiles[dst2], fmt.Sprintf("from%d@%d", src2, c.Tile(dst2).Now()))
+			})
+		}
+		// Every tile stages two effects to tile 0 on the last cycle of
+		// window 0 (cycle L-1). Canonical order is by (at, tile, staging
+		// index): all of tile 0's pair, then tile 1's, and so on — and the
+		// deliveries on tile 0 fire in exactly that scheduling order.
+		for ti := 0; ti < tiles; ti++ {
+			ti := ti
+			c.Tile(ti).At(L-1, func() {
+				c.Stage(ti, deliver, nil, uint64(ti)<<8|0)
+				c.Stage(ti, deliver, nil, uint64(ti)<<8|0)
+			})
+		}
+	})
+}
+
+// TestWindowZeroLookaheadPanics pins the construction guard by name: a
+// windowless cluster cannot exist, in any mode, and the panic says why.
+func TestWindowZeroLookaheadPanics(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		fn   func()
+	}{
+		{"fast", func() { NewCluster(4, 0, 1) }},
+		{"windowed", func() { newCluster(4, 0, 1, false) }},
+		{"sharded", func() { NewCluster(4, 0, 4) }},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "lookahead must be at least one cycle") {
+					t.Errorf("%s: panic %v, want the named lookahead guard", build.name, r)
+				}
+			}()
+			build.fn()
+			t.Errorf("%s: zero-lookahead construction did not panic", build.name)
+		}()
+	}
+}
+
+// TestWindowStatsCounters pins the observability counters on both paths:
+// windows and merges are schedule-determined (identical across modes),
+// the fast-path flag reflects the mode, and steals only ever appear on
+// worker pools.
+func TestWindowStatsCounters(t *testing.T) {
+	build := func(c *Cluster) {
+		noop := func(Cycle, any, uint64) {}
+		for i := 0; i < 4; i++ {
+			i := i
+			c.Tile(i).At(Cycle(2*i+1), func() { c.Stage(i, noop, nil, 0) })
+		}
+	}
+	fast := newCluster(4, 2, 1, true)
+	build(fast)
+	fast.Drain(1000)
+	fs := fast.WindowStats()
+	if !fs.FastPath {
+		t.Error("fast cluster reports FastPath=false")
+	}
+	if fs.Merges != 4 || fs.Staged != 4 {
+		t.Errorf("fast: merges/staged = %d/%d, want 4/4", fs.Merges, fs.Staged)
+	}
+	if fs.Events != 4 || fs.Windows == 0 || fs.Steals != 0 {
+		t.Errorf("fast: events/windows/steals = %d/%d/%d, want 4/>0/0", fs.Events, fs.Windows, fs.Steals)
+	}
+
+	win := newCluster(4, 2, 1, false)
+	build(win)
+	win.Drain(1000)
+	ws := win.WindowStats()
+	if ws.FastPath {
+		t.Error("windowed cluster reports FastPath=true")
+	}
+	if ws.Windows != fs.Windows || ws.Merges != fs.Merges || ws.Events != fs.Events {
+		t.Errorf("windowed counters %+v diverge from fast %+v", ws, fs)
+	}
+}
