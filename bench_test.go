@@ -274,7 +274,7 @@ func BenchmarkTable01_Configuration(b *testing.B) {
 		}
 	}
 	var buf bytes.Buffer
-	harness.Table1(&buf)
+	harness.Table1(&buf, harness.Options{})
 	b.Log("\n" + buf.String())
 }
 

@@ -39,6 +39,8 @@ func realMain() int {
 		scale   = flag.Int("scale", 1, "input scale factor")
 		policy  = flag.String("policy", "hybrid", "scribble policy: hybrid|resident|escalate")
 		proto   = flag.String("protocol", "", "coherence protocol table: mesi|ghostwriter|gw-noGI (empty = d-distance decides)")
+		topo    = flag.String("topo", "", "interconnect topology: mesh|ring|torus|xbar (empty = the Table 1 mesh)")
+		nodes   = flag.Int("nodes", 0, "interconnect node count (0 = the Table 1 24; mesh/torus fold it into the most square grid)")
 		timeout = flag.Uint64("gi-timeout", 1024, "GI timeout period in cycles")
 		list    = flag.Bool("list", false, "list available benchmarks")
 		config  = flag.Bool("config", false, "print the simulated configuration and exit")
@@ -55,6 +57,10 @@ func realMain() int {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if err := ghostwriter.ValidateTopology(*topo, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
+		return 2
+	}
 	nshards, err := parseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
@@ -69,7 +75,7 @@ func realMain() int {
 	defer stopProf()
 
 	if *config {
-		harness.Table1(os.Stdout)
+		harness.Table1(os.Stdout, harness.Options{Topo: *topo, Nodes: *nodes})
 		return 0
 	}
 	if *tables {
@@ -96,7 +102,8 @@ func realMain() int {
 		}
 		return 0
 	}
-	knobs := extraKnobs{msi: *msi, migratory: *migOpt, bound: uint32(*bound), adaptiveGI: *adaptGI, shards: nshards}
+	knobs := extraKnobs{msi: *msi, migratory: *migOpt, bound: uint32(*bound), adaptiveGI: *adaptGI,
+		shards: nshards, topo: *topo, nodes: *nodes}
 	if err := run(*app, *d, *threads, *scale, *policy, *proto, *timeout, *cores, *nocHot, knobs); err != nil {
 		fmt.Fprintln(os.Stderr, "ghostwriter:", err)
 		return 1
@@ -134,6 +141,8 @@ type extraKnobs struct {
 	msi, migratory, adaptiveGI bool
 	bound                      uint32
 	shards                     int
+	topo                       string
+	nodes                      int
 }
 
 // parseShards resolves the -shards flag: "auto" means one shard worker per
@@ -169,6 +178,8 @@ func run(name string, d, threads, scale int, policyName, protoName string, timeo
 		ErrorBound:        knobs.bound,
 		AdaptiveGITimeout: knobs.adaptiveGI,
 		Shards:            knobs.shards,
+		Topo:              knobs.topo,
+		Nodes:             knobs.nodes,
 	}
 	if d > 0 {
 		cfg.Protocol = ghostwriter.Ghostwriter
@@ -223,7 +234,7 @@ func run(name string, d, threads, scale int, policyName, protoName string, timeo
 		}
 	}
 	if nocHot {
-		fmt.Printf("\nhottest mesh links (flit-cycles):\n")
+		fmt.Printf("\nhottest interconnect links (flit-cycles):\n")
 		for _, l := range sys.Machine().Network().TopLinks(8) {
 			fmt.Printf("  %2d → %2d: %8d msgs %10d busy cycles\n", l.From, l.To, l.Msgs, l.BusyCycles)
 		}

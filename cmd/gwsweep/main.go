@@ -59,10 +59,12 @@ func main() {
 
 func realMain() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|protocols|tab1|tab2|ext|trend")
+		exp      = flag.String("exp", "all", "experiment: all|fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|protocols|topologies|tab1|tab2|ext|trend")
 		scale    = flag.Int("scale", 1, "input scale factor")
 		threads  = flag.Int("threads", 24, "worker threads")
 		protocol = flag.String("protocol", "", "coherence protocol table for every cell: mesi|ghostwriter|gw-noGI (empty = d-distance decides)")
+		topo     = flag.String("topo", "", "interconnect topology for every cell: mesh|ring|torus|xbar (empty = the Table 1 mesh)")
+		nodes    = flag.Int("nodes", 0, "interconnect node count (0 = the Table 1 24; mesh/torus fold it into the most square grid)")
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all CPUs)")
 		shards   = flag.String("shards", "auto", "shard workers per simulated machine: a count, or auto = all host CPUs (results are identical for every value)")
 		cacheDir = flag.String("cache", harness.DefaultCacheDir, "result cache directory")
@@ -85,12 +87,17 @@ func realMain() int {
 			return 2
 		}
 	}
+	if err := ghostwriter.ValidateTopology(*topo, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "gwsweep:", err)
+		return 2
+	}
 	nshards, err := parseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gwsweep:", err)
 		return 2
 	}
-	opt := harness.Options{Scale: *scale, Threads: *threads, Protocol: *protocol, Shards: nshards}
+	opt := harness.Options{Scale: *scale, Threads: *threads, Protocol: *protocol,
+		Shards: nshards, Topo: *topo, Nodes: *nodes}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -291,7 +298,7 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 	}
 
 	if exp == "all" || exp == "tab1" {
-		harness.Table1(w)
+		harness.Table1(w, opt)
 		fmt.Fprintln(w)
 	}
 	if exp == "all" || exp == "tab2" {
@@ -348,6 +355,12 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 		}
 		fmt.Fprintln(w)
 	}
+	if exp == "all" || exp == "topologies" {
+		if _, err := r.TopologyGrid(w, opt); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
 	if exp == "all" || exp == "ext" {
 		if _, err := r.Extensions(w, opt); err != nil {
 			return err
@@ -360,7 +373,7 @@ func run(r *harness.Runner, exp string, opt harness.Options) error {
 		}
 	}
 	switch exp {
-	case "all", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "protocols", "tab1", "tab2", "ext", "trend":
+	case "all", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "protocols", "topologies", "tab1", "tab2", "ext", "trend":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

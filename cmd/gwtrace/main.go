@@ -1,11 +1,14 @@
 // Command gwtrace drives the trace frontend: it generates synthetic
 // sharing-pattern traces (the §3.3 migratory and producer-consumer
-// patterns, or random fuzz), saves them to disk, and replays trace files on
-// the simulated machine under either protocol.
+// patterns, false/pathological sharing, or random fuzz), saves them to
+// disk, and replays trace files on the simulated machine under either
+// protocol and any interconnect topology.
 //
 //	gwtrace -gen migratory -threads 8 -rounds 500 -o mig.gwtr
 //	gwtrace -replay mig.gwtr -d 8
 //	gwtrace -gen producer-consumer -replay -            # generate and replay in one go
+//	gwtrace -gen false-sharing -replay - -topo ring     # replay on a 24-node ring
+//	gwtrace -gen pathological-sharing -replay - -topo torus -nodes 64
 package main
 
 import (
@@ -20,22 +23,28 @@ import (
 
 func main() {
 	var (
-		gen     = flag.String("gen", "", "generate a trace: migratory|producer-consumer|random")
+		gen     = flag.String("gen", "", "generate a trace: migratory|producer-consumer|false-sharing|pathological-sharing|random")
 		out     = flag.String("o", "", "write the generated trace to this file")
 		replay  = flag.String("replay", "", "replay a trace file ('-' = the trace just generated)")
 		threads = flag.Int("threads", 8, "threads in a generated trace")
 		rounds  = flag.Int("rounds", 500, "rounds per thread in a generated trace")
 		d       = flag.Int("d", 8, "d-distance for replay (0 = baseline MESI)")
 		seed    = flag.Int64("seed", 42, "seed for random traces")
+		topo    = flag.String("topo", "", "interconnect topology for replay: mesh|ring|torus|xbar (empty = the Table 1 mesh)")
+		nodes   = flag.Int("nodes", 0, "interconnect node count for replay (0 = the Table 1 24)")
 	)
 	flag.Parse()
-	if err := run(*gen, *out, *replay, *threads, *rounds, *d, *seed); err != nil {
+	if err := ghostwriter.ValidateTopology(*topo, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "gwtrace:", err)
+		os.Exit(1)
+	}
+	if err := run(*gen, *out, *replay, *threads, *rounds, *d, *seed, *topo, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "gwtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(gen, out, replay string, threads, rounds, d int, seed int64) error {
+func run(gen, out, replay string, threads, rounds, d int, seed int64, topo string, nodes int) error {
 	// The generated trace targets a fixed block-aligned base; the replay
 	// machine allocates the same region, so traces are position-stable.
 	const base = 0x2_0000
@@ -52,6 +61,10 @@ func run(gen, out, replay string, threads, rounds, d int, seed int64) error {
 			tr = trace.Migratory(pc)
 		case "producer-consumer":
 			tr = trace.ProducerConsumer(pc)
+		case "false-sharing":
+			tr = trace.FalseSharing(pc)
+		case "pathological-sharing":
+			tr = trace.PathologicalSharing(pc)
 		case "random":
 			tr = trace.Random(pc, seed, span)
 		default:
@@ -93,7 +106,7 @@ func run(gen, out, replay string, threads, rounds, d int, seed int64) error {
 		fmt.Printf("loaded trace: %d threads, %d ops\n", tr.NumThreads(), tr.Ops())
 	}
 
-	cfg := ghostwriter.Config{}
+	cfg := ghostwriter.Config{Topo: topo, Nodes: nodes}
 	if d > 0 {
 		cfg.Protocol = ghostwriter.Ghostwriter
 	}

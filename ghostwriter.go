@@ -32,6 +32,7 @@ import (
 	"ghostwriter/internal/energy"
 	"ghostwriter/internal/machine"
 	"ghostwriter/internal/mem"
+	"ghostwriter/internal/noc"
 	"ghostwriter/internal/sim"
 	"ghostwriter/internal/stats"
 )
@@ -136,9 +137,19 @@ type Config struct {
 	Protocol Protocol
 	// Policy selects the scribble residency policy (default PolicyHybrid).
 	Policy ScribblePolicy
-	// Cores is the core count (default 24, as in Table 1). Threads are
+	// Cores is the core count (default 24, as in Table 1; defaults to one
+	// core per node when Topo/Nodes grow the interconnect). Threads are
 	// pinned one per core.
 	Cores int
+	// Topo names the interconnect topology: "mesh" (Table 1 default),
+	// "ring", "torus", or "xbar" (single-hop crossbar — the idealized-
+	// network ablation). Empty selects the mesh and is omitted from JSON so
+	// cache keys minted before the topology layer stay valid.
+	Topo string `json:"Topo,omitempty"`
+	// Nodes overrides the interconnect node count (default 24); mesh and
+	// torus fold it into the most square grid (64 → 8x8). Omitted from
+	// JSON when zero for the same key-compatibility reason as Topo.
+	Nodes int `json:"Nodes,omitempty"`
 	// GITimeout is the GI→I periodic timeout in cycles (default 1024).
 	GITimeout uint64
 	// ErrorBound caps the hidden writes absorbed during one GS/GI
@@ -191,6 +202,26 @@ func (c Config) MachineConfig() machine.Config {
 	if c.Cores > 0 {
 		mc.Cores = c.Cores
 	}
+	if c.Topo != "" || c.Nodes > 0 {
+		// Non-default geometry: derive the interconnect config and re-place
+		// the directory homes on it. Geometry("mesh", 24) is DefaultConfig()
+		// exactly, so only genuinely new machines change here — the default
+		// mesh keeps its pre-topology derived config byte-for-byte. Unknown
+		// names are left for New/callers to reject: key derivation stays
+		// total.
+		if geo, err := noc.Geometry(c.Topo, c.Nodes); err == nil {
+			mc.Mesh = geo
+			mc.DirNodes = noc.DefaultHomes(geo, len(mc.DirNodes))
+			if c.Cores == 0 {
+				// One core per node: a grown interconnect runs fully
+				// populated (capped at the protocol's sharer-set width).
+				mc.Cores = geo.NodeCount()
+				if mc.Cores > coherence.MaxCores {
+					mc.Cores = coherence.MaxCores
+				}
+			}
+		}
+	}
 	if c.GITimeout > 0 {
 		mc.GITimeout = sim.Cycle(c.GITimeout)
 	}
@@ -215,8 +246,26 @@ func (c Config) MachineConfig() machine.Config {
 
 // New builds a system.
 func New(cfg Config) *System {
+	if err := ValidateTopology(cfg.Topo, cfg.Nodes); err != nil {
+		panic("ghostwriter: " + err.Error())
+	}
 	return &System{m: machine.New(cfg.MachineConfig()), cfg: cfg}
 }
+
+// ParseTopology validates an interconnect topology name, mapping "" to
+// "mesh" (re-exported for flag parsing).
+func ParseTopology(name string) (string, error) { return noc.ParseTopology(name) }
+
+// ValidateTopology checks a topology name and node count the way New does
+// (re-exported so the harness can reject bad specs with an error instead of
+// a panic).
+func ValidateTopology(topo string, nodes int) error {
+	_, err := noc.Geometry(topo, nodes)
+	return err
+}
+
+// Topologies lists the registered interconnect topology names.
+func Topologies() []string { return noc.Topologies() }
 
 // Cores returns the simulated core count.
 func (s *System) Cores() int { return s.m.Config().Cores }

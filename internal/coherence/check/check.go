@@ -711,12 +711,12 @@ func (h *harness) checkQuiescent() *Violation {
 				}
 			case cache.Shared, cache.GS:
 				sharers = append(sharers, c)
-				if sharerMask&(1<<uint(c)) == 0 {
-					return fail("core %d holds a%d in %v but is not on the sharer list (mask %b)",
-						c, ai, b.State, sharerMask)
+				if !sharerMask.Has(c) {
+					return fail("core %d holds a%d in %v but is not on the sharer list (%v)",
+						c, ai, b.State, sharerMask.IDs())
 				}
 			case cache.GI:
-				if sharerMask&(1<<uint(c)) != 0 {
+				if sharerMask.Has(c) {
 					return fail("core %d holds a%d in GI yet rides the sharer list", c, ai)
 				}
 				if h.dir.Owner(a) == c {
@@ -738,7 +738,7 @@ func (h *harness) checkQuiescent() *Violation {
 		// upgraded its copy would invalidate a bystander later, or worse,
 		// stall an UPGRADE's ack collection forever).
 		for c := range h.l1s {
-			if sharerMask&(1<<uint(c)) == 0 {
+			if !sharerMask.Has(c) {
 				continue
 			}
 			b := h.l1s[c].Array().Lookup(a)
@@ -754,7 +754,7 @@ func (h *harness) checkQuiescent() *Violation {
 		// line's own owner/sharer bookkeeping.
 		switch h.dir.State(a) {
 		case proto.DirShared:
-			if sharerMask == 0 {
+			if sharerMask.None() {
 				return fail("a%d: directory state DS with an empty sharer list", ai)
 			}
 		case proto.DirOwned:
@@ -854,7 +854,9 @@ func (h *harness) fingerprint() uint64 {
 		f = mix(f, h.coherentWord(a))
 		f = mix(f, uint64(h.dir.State(a)))
 		f = mix(f, uint64(h.dir.Owner(a)+1))
-		f = mix(f, uint64(h.dir.Sharers(a)))
+		for _, w := range h.dir.Sharers(a) {
+			f = mix(f, w)
+		}
 		for _, l1 := range h.l1s {
 			b := l1.Array().Lookup(a)
 			if b == nil {

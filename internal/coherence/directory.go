@@ -62,7 +62,7 @@ const (
 type dirLine struct {
 	state   proto.DirState
 	owner   int
-	sharers uint32 // bitmask over L1 ids (≤ 32 cores)
+	sharers SharerSet // L1 ids holding read copies (≤ MaxCores cores)
 
 	hasData bool
 	data    []byte
@@ -260,12 +260,12 @@ func (d *Directory) Owner(a mem.Addr) int {
 	return -1
 }
 
-// Sharers returns the sharer bitmask for a block.
-func (d *Directory) Sharers(a mem.Addr) uint32 {
+// Sharers returns the sharer set for a block.
+func (d *Directory) Sharers(a mem.Addr) SharerSet {
 	if e := d.lines.get(a); e != nil && e.state == dirShared {
 		return e.sharers
 	}
-	return 0
+	return SharerSet{}
 }
 
 // State returns the directory's raw state for a block (DirInvalid for a
@@ -424,7 +424,7 @@ func (d *Directory) evalGuard(g proto.DirGuard, e *dirLine, m *Msg) bool {
 	case proto.DGOwnerIsFrom:
 		return e.owner == m.From
 	case proto.DGFromListed:
-		return e.sharers&bit(m.From) != 0
+		return e.sharers.Has(m.From)
 	}
 	panic(fmt.Sprintf("dir %d: unknown guard %v", d.id, g))
 }
@@ -442,7 +442,7 @@ func (d *Directory) runAction(a proto.DirAction, e *dirLine, m *Msg) {
 		d.withData(e, a, func() {
 			d.replyData(m.From, DataS, e, a)
 			e.state = dirShared
-			e.sharers = bit(m.From)
+			e.sharers = SharerSetOf(m.From)
 			e.needUnblock = true
 		})
 	case proto.DGrantFreshE:
@@ -465,7 +465,7 @@ func (d *Directory) runAction(a proto.DirAction, e *dirLine, m *Msg) {
 		a := m.Addr
 		d.withData(e, a, func() {
 			d.replyData(m.From, DataS, e, a)
-			e.sharers |= bit(m.From)
+			e.sharers.Add(m.From)
 			e.needUnblock = true
 		})
 	case proto.DFwdGETSOwner:
@@ -497,8 +497,8 @@ func (d *Directory) runAction(a proto.DirAction, e *dirLine, m *Msg) {
 		// raced, stale upgrade) is promoted to a GETX and answered with
 		// data.
 		a := m.Addr
-		upgradeValid := m.Type == UPGRADE && e.sharers&bit(m.From) != 0
-		others := e.sharers &^ bit(m.From)
+		upgradeValid := m.Type == UPGRADE && e.sharers.Has(m.From)
+		others := e.sharers.Without(m.From)
 		grant := func() {
 			if upgradeValid {
 				d.sendCtl(m.From, UpgAck, a, m.From)
@@ -507,25 +507,21 @@ func (d *Directory) runAction(a proto.DirAction, e *dirLine, m *Msg) {
 			}
 			e.state = dirOwned
 			e.owner = m.From
-			e.sharers = 0
+			e.sharers = SharerSet{}
 			e.needUnblock = true
 		}
-		if others == 0 {
+		if others.None() {
 			grant()
 			return
 		}
 		// Invalidate every other sharer and collect acks before granting.
-		e.pendingAck = bits.OnesCount32(others)
+		e.pendingAck = others.Count()
 		e.onAcksDone = grant
-		for id := 0; others != 0; id++ {
-			if others&1 != 0 {
-				d.sendCtl(id, Inv, a, m.From)
-			}
-			others >>= 1
-		}
+		from := m.From
+		others.ForEach(func(id int) { d.sendCtl(id, Inv, a, from) })
 	case proto.DDropSharer:
-		e.sharers &^= bit(m.From)
-		if e.sharers == 0 {
+		e.sharers.Del(m.From)
+		if e.sharers.None() {
 			e.state = dirInvalid
 		}
 	case proto.DWriteback:
@@ -650,7 +646,7 @@ func (d *Directory) evictLine(va mem.Addr, v *dirLine, k func()) {
 		v.data = nil
 		v.state = dirInvalid
 		v.owner = -1
-		v.sharers = 0
+		v.sharers = SharerSet{}
 		d.finish(v) // unbusy and restart anything queued on the victim
 		k()
 	}
@@ -659,15 +655,10 @@ func (d *Directory) evictLine(va mem.Addr, v *dirLine, k func()) {
 		finish(v.data)
 	case dirShared:
 		sharers := v.sharers
-		v.pendingAck = bits.OnesCount32(sharers)
+		v.pendingAck = sharers.Count()
 		data := v.data
 		v.onAcksDone = func() { finish(data) }
-		for id := 0; sharers != 0; id++ {
-			if sharers&1 != 0 {
-				d.sendCtl(id, Inv, va, -1)
-			}
-			sharers >>= 1
-		}
+		sharers.ForEach(func(id int) { d.sendCtl(id, Inv, va, -1) })
 	case dirOwned:
 		// The owner's copy is authoritative; RecallData completes the
 		// eviction (handled in handleRecallData via the line's cur).
@@ -690,8 +681,6 @@ func (d *Directory) replyData(l1 int, t MsgType, e *dirLine, a mem.Addr) {
 	d.send(noc.NodeID(l1), m)
 }
 
-func bit(id int) uint32 { return 1 << uint(id) }
-
 // noteWrite feeds the migratory detector on a write-permission request: a
 // write by the core that opened the current read generation extends the
 // migratory streak; two streaks classify the block. A write by a different
@@ -700,7 +689,7 @@ func (d *Directory) noteWrite(e *dirLine, writer int) {
 	if !d.cfg.MigratoryOpt {
 		return
 	}
-	if writer == e.lastReader && bits.OnesCount32(e.sharers) <= 2 {
+	if writer == e.lastReader && e.sharers.Count() <= 2 {
 		e.generations++
 		if e.generations >= 2 {
 			e.migratory = true
@@ -736,7 +725,7 @@ func (d *Directory) handleDataToDir(e *dirLine, m *Msg) {
 	d.meter.L2Access()
 	d.st.L2Accesses++
 	e.state = dirShared
-	e.sharers = bit(m.From) | bit(e.cur.From)
+	e.sharers = SharerSetOf(m.From, e.cur.From)
 	e.owner = -1
 	e.needData = false
 	d.maybeFinish(e)

@@ -116,8 +116,8 @@ func TestRigSecondLoadSharesViaForward(t *testing.T) {
 	if r.state(0, 0x40) != cache.Shared || r.state(1, 0x40) != cache.Shared {
 		t.Fatalf("states %v/%v, want S/S", r.state(0, 0x40), r.state(1, 0x40))
 	}
-	if r.dir.Sharers(0x40) != 0b11 {
-		t.Fatalf("sharers %b, want 11", r.dir.Sharers(0x40))
+	if r.dir.Sharers(0x40) != SharerSetOf(0, 1) {
+		t.Fatalf("sharers %v, want {0 1}", r.dir.Sharers(0x40).IDs())
 	}
 	// The downgrade wrote the dirty data back to the L2 home.
 	if data, ok := r.dir.Peek(0x40); !ok || mem.DecodeUint(data[:4]) != 99 {
@@ -157,7 +157,7 @@ func TestRigScribbleGSKeepsDirectorySharer(t *testing.T) {
 	}
 	// Directory still lists core 1 as a sharer even though its copy is
 	// hidden-dirty.
-	if r.dir.Sharers(0xC0)&0b10 == 0 {
+	if !r.dir.Sharers(0xC0).Has(1) {
 		t.Fatal("GS copy fell off the sharer list")
 	}
 	// The hidden value is locally visible, invisible at the home.

@@ -1,0 +1,69 @@
+package coherence
+
+import "math/bits"
+
+// MaxCores is the largest core count the directory's sharer tracking
+// supports. It bounds the SharerSet bit width, not any allocation: a machine
+// with fewer cores pays nothing for the headroom. 256 covers every mesh the
+// topology layer can build (a 16x16 torus runs one core per tile).
+const MaxCores = 256
+
+// SharerSet is a fixed-width bitset over L1 cache ids — the directory's
+// sharer list. It is a comparable value type (plain == works), replacing the
+// historical uint32 bitmask whose width was the real 32-core ceiling.
+type SharerSet [MaxCores / 64]uint64
+
+// SharerSetOf returns the set holding exactly the given ids.
+func SharerSetOf(ids ...int) SharerSet {
+	var s SharerSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id.
+func (s *SharerSet) Add(id int) { s[uint(id)>>6] |= 1 << (uint(id) & 63) }
+
+// Del removes id.
+func (s *SharerSet) Del(id int) { s[uint(id)>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports whether id is in the set.
+func (s SharerSet) Has(id int) bool { return s[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
+
+// None reports whether the set is empty.
+func (s SharerSet) None() bool { return s == SharerSet{} }
+
+// Count returns the number of ids in the set.
+func (s SharerSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Without returns the set with id removed.
+func (s SharerSet) Without(id int) SharerSet {
+	s.Del(id)
+	return s
+}
+
+// ForEach calls f for every id in the set, in ascending order — the same
+// deterministic fan-out order the old bitmask loops walked.
+func (s SharerSet) ForEach(f func(id int)) {
+	for wi, w := range s {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// IDs returns the members in ascending order (allocates; for tests and
+// invariant checkers, not protocol hot paths).
+func (s SharerSet) IDs() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(id int) { out = append(out, id) })
+	return out
+}

@@ -270,10 +270,11 @@ func (r *Runner) Fig12(w io.Writer, opt Options) ([]Fig12Point, error) {
 	return out, nil
 }
 
-// Table1 prints the simulated configuration (the paper's Table 1).
-func Table1(w io.Writer) {
-	sys := ghostwriter.New(ghostwriter.Config{Protocol: ghostwriter.Ghostwriter})
-	mc := sys.Machine().Config()
+// Table1 prints the simulated configuration (the paper's Table 1), for the
+// interconnect opt selects.
+func Table1(w io.Writer, opt Options) {
+	cfg := ghostwriter.Config{Protocol: ghostwriter.Ghostwriter, Topo: opt.Topo, Nodes: opt.Nodes}
+	mc := cfg.MachineConfig()
 	fmt.Fprintf(w, "Table 1 — simulation configuration\n")
 	fmt.Fprintf(w, "%-12s %d in-order cores, blocking, 1 op/issue\n", "Cores", mc.Cores)
 	fmt.Fprintf(w, "%-12s private %dkB D-cache, %d-way, %dB blocks, tree PLRU, %d-cycle hit\n",
@@ -281,8 +282,12 @@ func Table1(w io.Writer) {
 	fmt.Fprintf(w, "%-12s shared banks at directory homes, %d-cycle access\n", "L2", mc.L2Latency)
 	fmt.Fprintf(w, "%-12s Ghostwriter over MESI directory; GI timeout %d cycles\n",
 		"Coherence", mc.GITimeout)
-	fmt.Fprintf(w, "%-12s %dx%d mesh, XY routing, %d-cycle router, %d-cycle link, %d directories at corners %v\n",
-		"Network", mc.Mesh.Width, mc.Mesh.Height, mc.Mesh.RouterDelay, mc.Mesh.LinkDelay,
+	netDesc := "invalid topology"
+	if topo, err := mc.Mesh.Topology(); err == nil {
+		netDesc = topo.Describe()
+	}
+	fmt.Fprintf(w, "%-12s %s, %d-cycle router, %d-cycle link, %d directories at nodes %v\n",
+		"Network", netDesc, mc.Mesh.RouterDelay, mc.Mesh.LinkDelay,
 		len(mc.DirNodes), mc.DirNodes)
 	fmt.Fprintf(w, "%-12s %d-cycle access latency, %d-cycle channel occupancy\n",
 		"DRAM", mc.DRAM.AccessLatency, mc.DRAM.Occupancy)
@@ -395,6 +400,105 @@ func (r *Runner) ProtocolGrid(w io.Writer, opt Options) ([]ProtocolRow, error) {
 			fmt.Fprintf(w, "%-18s %-12s %12d %12.3f %7.1f%% %7.1f%% %9.4f%%\n",
 				row.App, row.Protocol, row.Cycles, row.TrafficNorm,
 				row.GSPct, row.GIPct, row.ErrorPct)
+		}
+	}
+	return out, nil
+}
+
+// topoGridDist is the d-distance the topology ablation contrasts against
+// its own in-topology baseline (the paper's headline d = 8 column).
+const topoGridDist = 8
+
+// TopologyRow is one (application × topology) cell of the interconnect
+// ablation: the d = 8 run against the same topology's baseline, so the
+// columns isolate how much of Ghostwriter's win each network keeps.
+type TopologyRow struct {
+	App   string `json:"app"`
+	Topo  string `json:"topo"`
+	Nodes int    `json:"nodes"`
+	// BaseCycles and Cycles are the topology's own d = 0 and d = 8 runs.
+	BaseCycles uint64 `json:"baseCycles"`
+	Cycles     uint64 `json:"cycles"`
+	// TrafficNorm is d = 8 total coherence messages normalized to the same
+	// topology's baseline (cross-topology cycle counts are not comparable;
+	// the within-topology ratios are).
+	TrafficNorm       float64 `json:"trafficNorm"`
+	SpeedupPct        float64 `json:"speedupPct"`
+	NetEnergySavedPct float64 `json:"netEnergySavedPct"`
+	ErrorPct          float64 `json:"errorPct"`
+}
+
+// TopologyGrid compares the registered interconnect topologies on the
+// Table 2 suite: for each (application, topology) pair it runs d = 0 and
+// d = 8 on that network and reports the within-topology gains — whether the
+// protocol's traffic reduction still buys speedup when the network is a
+// ring (serialized), a torus (shorter routes), or an ideal crossbar (no
+// path contention).
+func TopologyGrid(w io.Writer, opt Options) ([]TopologyRow, error) {
+	return NewRunner(0).TopologyGrid(w, opt)
+}
+
+// topoJobs lays out the (application × topology × {0, d}) ablation grid.
+// The mesh cell keeps Topo empty — the canonical spelling of the default —
+// so its cells share cache entries (and keys) with the main suite grids.
+func topoJobs(opt Options) []Job {
+	suite := workloads.Suite()
+	topos := ghostwriter.Topologies()
+	jobs := make([]Job, 0, len(suite)*len(topos)*2)
+	for _, f := range suite {
+		for _, tp := range topos {
+			o := opt
+			o.Topo = tp
+			if tp == "mesh" {
+				o.Topo = ""
+			}
+			for _, d := range []int{0, topoGridDist} {
+				jobs = append(jobs, Job{
+					Label: fmt.Sprintf("topologies %s %s d=%d", f.Name, tp, d),
+					Spec:  specFor(f.Name, o, d, false, ghostwriter.PolicyHybrid),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// TopologyGrid is TopologyGrid on this Runner.
+func (r *Runner) TopologyGrid(w io.Writer, opt Options) ([]TopologyRow, error) {
+	suite := workloads.Suite()
+	topos := ghostwriter.Topologies()
+	cells := r.Run(topoJobs(opt))
+	if err := firstErr(cells); err != nil {
+		return nil, err
+	}
+	nodes := opt.Nodes
+	if nodes == 0 {
+		nodes = ghostwriter.Config{}.MachineConfig().Mesh.NodeCount()
+	}
+	fmt.Fprintf(w, "Topology ablation — within-topology gains at d=%d (%d nodes)\n", topoGridDist, nodes)
+	fmt.Fprintf(w, "%-18s %-7s %12s %12s %12s %12s %10s\n",
+		"app", "topo", "base cycles", "traffic", "speedup", "net energy", "error")
+	var out []TopologyRow
+	i := 0
+	for _, f := range suite {
+		for _, tp := range topos {
+			base, d8 := cells[i].Result, cells[i+1].Result
+			i += 2
+			row := TopologyRow{
+				App:               f.Name,
+				Topo:              tp,
+				Nodes:             nodes,
+				BaseCycles:        base.Cycles,
+				Cycles:            d8.Cycles,
+				TrafficNorm:       ratio(d8.Stats.TotalMsgs(), base.Stats.TotalMsgs()),
+				SpeedupPct:        pctGain(base.Cycles, d8.Cycles),
+				NetEnergySavedPct: pctSaved(base.Energy.NetworkPJ, d8.Energy.NetworkPJ),
+				ErrorPct:          d8.ErrorPct,
+			}
+			out = append(out, row)
+			fmt.Fprintf(w, "%-18s %-7s %12d %12.3f %11.1f%% %11.1f%% %9.4f%%\n",
+				row.App, row.Topo, row.BaseCycles, row.TrafficNorm,
+				row.SpeedupPct, row.NetEnergySavedPct, row.ErrorPct)
 		}
 	}
 	return out, nil

@@ -36,6 +36,12 @@ type Options struct {
 	// sharded engine (0 = sequential). Simulation results are
 	// shard-count-invariant; this only trades host cores for wall-clock.
 	Shards int
+	// Topo names the interconnect topology every cell runs on ("mesh",
+	// "ring", "torus", "xbar"). Empty keeps the Table 1 6x4 mesh.
+	Topo string
+	// Nodes overrides the interconnect node count (0 keeps 24). Mesh and
+	// torus fold it into the most square grid.
+	Nodes int
 }
 
 // DefaultOptions runs the paper's 24-thread configuration at test scale.

@@ -129,7 +129,7 @@ func TestFig12TimeoutSensitivity(t *testing.T) {
 
 func TestTablesRender(t *testing.T) {
 	var buf bytes.Buffer
-	Table1(&buf)
+	Table1(&buf, Options{})
 	for _, want := range []string{"24 in-order cores", "32kB", "6x4 mesh", "1024 cycles"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("Table 1 missing %q", want)

@@ -25,6 +25,7 @@ func Manifest(exp string, opt Options) ([]WorkItem, error) {
 		jobs = append(jobs, suiteJobs(workloads.Suite(), opt)...)
 		jobs = append(jobs, fig12Jobs(opt)...)
 		jobs = append(jobs, protoJobs(opt)...)
+		jobs = append(jobs, topoJobs(opt)...)
 		jobs = append(jobs, suiteJobs(workloads.Extensions(), opt)...)
 	case "fig1":
 		jobs = fig1Jobs(opt)
@@ -36,6 +37,8 @@ func Manifest(exp string, opt Options) ([]WorkItem, error) {
 		jobs = fig12Jobs(opt)
 	case "protocols":
 		jobs = protoJobs(opt)
+	case "topologies":
+		jobs = topoJobs(opt)
 	case "ext":
 		jobs = suiteJobs(workloads.Extensions(), opt)
 	case "trend":

@@ -19,6 +19,8 @@ type Report struct {
 	Fig12   []Fig12Point  `json:"fig12,omitempty"`
 	// Protocols is the (application × protocol-table) ablation grid.
 	Protocols []ProtocolRow `json:"protocols,omitempty"`
+	// Topologies is the (application × interconnect-topology) ablation grid.
+	Topologies []TopologyRow `json:"topologies,omitempty"`
 	// Timing records the sweep's wall clock and per-cell costs. Unlike the
 	// simulation results it is not deterministic — it measures the host.
 	Timing *TimingReport `json:"timing,omitempty"`
@@ -161,6 +163,9 @@ func (r *Runner) BuildReport(opt Options) (*Report, error) {
 		return nil, err
 	}
 	if rep.Protocols, err = r.ProtocolGrid(io.Discard, opt); err != nil {
+		return nil, err
+	}
+	if rep.Topologies, err = r.TopologyGrid(io.Discard, opt); err != nil {
 		return nil, err
 	}
 	rep.Timing = &TimingReport{

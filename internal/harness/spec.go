@@ -47,6 +47,13 @@ type Spec struct {
 	// determinism tests verify against. Omitted when zero so pre-sharding
 	// cache keys stay valid.
 	Shards int `json:"shards,omitempty"`
+	// Topo names the interconnect topology ("mesh", "ring", "torus",
+	// "xbar") and Nodes its node count. Empty/zero keep the Table 1 6x4
+	// mesh and are omitted from JSON, so cache keys minted before the
+	// topology layer stay valid: an old-format key (no topo fields) means
+	// exactly the default mesh.
+	Topo  string `json:"topo,omitempty"`
+	Nodes int    `json:"nodes,omitempty"`
 	// Config carries the remaining system knobs (policy, GI timeout, MSI,
 	// error bound, ...). Protocol and ProfileSimilarity are derived from
 	// DDist and Profile — see effective.
@@ -63,6 +70,8 @@ func specFor(name string, opt Options, ddist int, profile bool, policy ghostwrit
 		Profile:  profile,
 		Protocol: opt.Protocol,
 		Shards:   opt.Shards,
+		Topo:     opt.Topo,
+		Nodes:    opt.Nodes,
 		Config:   ghostwriter.Config{Policy: policy},
 	}
 }
@@ -79,6 +88,12 @@ func (s Spec) effective() ghostwriter.Config {
 	cfg.ProfileSimilarity = s.Profile
 	if s.Shards != 0 {
 		cfg.Shards = s.Shards
+	}
+	if s.Topo != "" {
+		cfg.Topo = s.Topo
+	}
+	if s.Nodes != 0 {
+		cfg.Nodes = s.Nodes
 	}
 	switch {
 	case s.Protocol != "":
@@ -135,6 +150,9 @@ func executeSpec(s Spec) (RunResult, error) {
 		if _, err := ghostwriter.ParseProtocol(s.Protocol); err != nil {
 			return RunResult{}, err
 		}
+	}
+	if err := ghostwriter.ValidateTopology(s.Topo, s.Nodes); err != nil {
+		return RunResult{}, err
 	}
 	app := f.New(s.Scale)
 	sys := ghostwriter.New(s.effective())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ghostwriter/internal/cache"
+	"ghostwriter/internal/coherence"
 	"ghostwriter/internal/mem"
 )
 
@@ -50,14 +51,14 @@ func (m *Machine) CheckInvariants(strictData bool) error {
 	for base, hs := range copies {
 		owners := 0
 		ownerID := -1
-		sharers := uint32(0)
+		var sharers coherence.SharerSet
 		for _, h := range hs {
 			switch h.state {
 			case cache.Modified, cache.Exclusive:
 				owners++
 				ownerID = h.l1
 			case cache.Shared, cache.GS:
-				sharers |= 1 << uint(h.l1)
+				sharers.Add(h.l1)
 			case cache.Invalid, cache.GI:
 				// Untracked; no constraint.
 			default:
@@ -69,8 +70,8 @@ func (m *Machine) CheckInvariants(strictData bool) error {
 		if owners > 1 {
 			return fmt.Errorf("block %#x: %d owners", base, owners)
 		}
-		if owners == 1 && sharers != 0 {
-			return fmt.Errorf("block %#x: owner %d coexists with sharers %b", base, ownerID, sharers)
+		if owners == 1 && !sharers.None() {
+			return fmt.Errorf("block %#x: owner %d coexists with sharers %v", base, ownerID, sharers.IDs())
 		}
 		d := m.dirFor(base)
 		if owners == 1 {
@@ -83,9 +84,11 @@ func (m *Machine) CheckInvariants(strictData bool) error {
 		}
 		// Every S/GS copy must be on the sharer list (GI copies must not).
 		dirSharers := d.Sharers(base)
-		if sharers&^dirSharers != 0 {
-			return fmt.Errorf("block %#x: cached sharers %b not covered by directory %b",
-				base, sharers, dirSharers)
+		for _, id := range sharers.IDs() {
+			if !dirSharers.Has(id) {
+				return fmt.Errorf("block %#x: cached sharers %v not covered by directory %v",
+					base, sharers.IDs(), dirSharers.IDs())
+			}
 		}
 		if strictData {
 			l2, ok := d.Peek(base)
@@ -102,21 +105,17 @@ func (m *Machine) CheckInvariants(strictData bool) error {
 	// transitional form.
 	for base := range copies {
 		d := m.dirFor(base)
-		dirSharers := d.Sharers(base)
-		for id := 0; dirSharers != 0; id++ {
-			if dirSharers&1 != 0 {
-				arr := m.l1s[id].Array()
-				b := arr.Lookup(base)
-				if b == nil || (b.State != cache.Shared && b.State != cache.GS) {
-					st := cache.State(0)
-					if b != nil {
-						st = b.State
-					}
-					return fmt.Errorf("block %#x: directory lists l1 %d as sharer but cache state is %v (present=%v)",
-						base, id, st, b != nil)
+		for _, id := range d.Sharers(base).IDs() {
+			arr := m.l1s[id].Array()
+			b := arr.Lookup(base)
+			if b == nil || (b.State != cache.Shared && b.State != cache.GS) {
+				st := cache.State(0)
+				if b != nil {
+					st = b.State
 				}
+				return fmt.Errorf("block %#x: directory lists l1 %d as sharer but cache state is %v (present=%v)",
+					base, id, st, b != nil)
 			}
-			dirSharers >>= 1
 		}
 	}
 	return nil

@@ -1,8 +1,9 @@
 // Package machine assembles the simulated CMP of Table 1: in-order blocking
 // cores, private L1s with the Ghostwriter protocol, four directory homes
-// with L2 banks at the mesh corners, a 6x4 mesh NoC, and per-home DRAM
-// channels. It also provides the deterministic thread-execution harness that
-// workload kernels run on.
+// with L2 banks at the mesh corners, the interconnect (the paper's 6x4 mesh
+// by default; any registered noc topology), and per-home DRAM channels. It
+// also provides the deterministic thread-execution harness that workload
+// kernels run on.
 package machine
 
 import (
@@ -22,8 +23,11 @@ import (
 // Config selects the simulated system. The zero value is not useful; start
 // from DefaultConfig.
 type Config struct {
-	Cores int // number of cores (= mesh nodes used for L1s)
+	Cores int // number of cores (= interconnect nodes used for L1s)
 
+	// Mesh is the interconnect configuration. The name is historical (and
+	// load-bearing for cache keys): it selects any registered noc topology
+	// via its Topo field, with the paper's 6x4 XY mesh as the default.
 	Mesh noc.Config
 
 	L1           cache.Config
@@ -133,16 +137,16 @@ type Machine struct {
 
 // New builds a machine from cfg.
 func New(cfg Config) *Machine {
-	if cfg.Cores <= 0 || cfg.Cores > 32 {
+	if cfg.Cores <= 0 || cfg.Cores > coherence.MaxCores {
 		panic(fmt.Sprintf("machine: unsupported core count %d", cfg.Cores))
 	}
-	if cfg.Cores > cfg.Mesh.Width*cfg.Mesh.Height {
-		panic("machine: more cores than mesh nodes")
+	if cfg.Cores > cfg.Mesh.NodeCount() {
+		panic("machine: more cores than interconnect nodes")
 	}
 	if len(cfg.DirNodes) == 0 {
 		panic("machine: no directory nodes")
 	}
-	nodes := cfg.Mesh.Width * cfg.Mesh.Height
+	nodes := cfg.Mesh.NodeCount()
 	lookahead := cfg.Mesh.Lookahead()
 	if lookahead > migrationCost {
 		// The merge phase schedules migration resumes at stage-cycle +

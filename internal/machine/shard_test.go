@@ -35,6 +35,13 @@ func scribbleFingerprint(tb testing.TB, protocol string, shards int, seed uint64
 	cfg := DefaultConfig()
 	cfg.Protocol = protocol
 	cfg.Shards = shards
+	return configFingerprint(tb, cfg, seed, ddist)
+}
+
+// configFingerprint is scribbleFingerprint for an arbitrary machine config
+// (the topology differential reuses the same kernel on other interconnects).
+func configFingerprint(tb testing.TB, cfg Config, seed uint64, ddist int) string {
+	tb.Helper()
 	m := New(cfg)
 
 	const (

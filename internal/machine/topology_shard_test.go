@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"ghostwriter/internal/coherence"
+	"ghostwriter/internal/noc"
+	"ghostwriter/internal/sim"
+)
+
+// topoMachineConfig builds the machine for one registered topology the way
+// the top-level package derives it: geometry from noc.Geometry, directory
+// homes re-placed by noc.DefaultHomes, one core per node.
+func topoMachineConfig(tb testing.TB, topo string, nodes int) Config {
+	tb.Helper()
+	cfg := DefaultConfig()
+	geo, err := noc.Geometry(topo, nodes)
+	if err != nil {
+		tb.Fatalf("Geometry(%q, %d): %v", topo, nodes, err)
+	}
+	cfg.Mesh = geo
+	cfg.DirNodes = noc.DefaultHomes(geo, len(cfg.DirNodes))
+	cfg.Cores = geo.NodeCount()
+	if cfg.Cores > coherence.MaxCores {
+		cfg.Cores = coherence.MaxCores
+	}
+	cfg.Protocol = "ghostwriter"
+	return cfg
+}
+
+// TestTopologyShardDeterminism is the topology × shard differential: on
+// every registered interconnect, concurrent 2/4/8-shard runs of the
+// scribble-heavy kernel must be byte-identical to the sequential run —
+// even though each topology stages its merges on a different conservative
+// window width (the crossbar's 3-cycle lookahead vs 2 for the others).
+// Run under -race this also proves the per-topology link-arbitration state
+// is only touched at the barrier merge.
+func TestTopologyShardDeterminism(t *testing.T) {
+	for _, name := range noc.Topologies() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := topoMachineConfig(t, name, 24)
+			wantWidth := sim.Cycle(2)
+			if name == "xbar" {
+				wantWidth = 3
+			}
+			if got := cfg.Mesh.Lookahead(); got != wantWidth {
+				t.Fatalf("window width %d, want %d — the per-topology lookahead must drive the barrier", got, wantWidth)
+			}
+			cfg.Shards = 1
+			want := configFingerprint(t, cfg, 0xD00D, 8)
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			got := make(map[int]string)
+			for _, shards := range []int{2, 4, 8} {
+				shards := shards
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := cfg
+					c.Shards = shards
+					fp := configFingerprint(t, c, 0xD00D, 8)
+					mu.Lock()
+					got[shards] = fp
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+			for shards, fp := range got {
+				if fp != want {
+					t.Errorf("shards=%d fingerprint %s, want %s (sequential)", shards, fp, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTopologyShardDeterminismGrownGrids runs the differential on the
+// grown interconnects the sweep recipes use — a 64-tile (8x8) mesh and
+// torus with one core per tile — proving the sharded engine and the
+// SharerSet-widened directory hold past the paper's 24 tiles.
+func TestTopologyShardDeterminismGrownGrids(t *testing.T) {
+	for _, name := range []string{"mesh", "torus"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := topoMachineConfig(t, name, 64)
+			if cfg.Cores != 64 {
+				t.Fatalf("cores = %d, want 64", cfg.Cores)
+			}
+			cfg.Shards = 1
+			want := configFingerprint(t, cfg, 0xFEED, 8)
+			cfg.Shards = 4
+			if got := configFingerprint(t, cfg, 0xFEED, 8); got != want {
+				t.Errorf("shards=4 fingerprint %s, want %s (sequential)", got, want)
+			}
+		})
+	}
+}

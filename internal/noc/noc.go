@@ -1,9 +1,13 @@
-// Package noc models the on-chip interconnect from Table 1 of the paper: a
-// 2D mesh with XY dimension-order routing, 1-cycle routers, 1-cycle links,
-// and per-link serialization (one flit per link per cycle). Messages are
-// segmented into flits; a message's delivery time accounts for router and
-// link latency at every hop plus queueing behind earlier traffic on each
-// link, which is how coherence-traffic reduction turns into speedup.
+// Package noc models the on-chip interconnect from Table 1 of the paper.
+// Geometry, routing, and per-hop latency live behind the pluggable Topology
+// interface (topology.go): the default is the paper's 2D mesh with XY
+// dimension-order routing, 1-cycle routers and 1-cycle links; a bidirectional
+// ring, a wraparound torus, and a single-hop crossbar are registered beside
+// it. The Network flit engine is topology-independent: messages are
+// segmented into flits and serialized per directed link (one flit per link
+// per cycle), so a message's delivery time accounts for the topology's
+// per-hop latency at every route link plus queueing behind earlier traffic,
+// which is how coherence-traffic reduction turns into speedup.
 package noc
 
 import (
@@ -15,20 +19,29 @@ import (
 	"ghostwriter/internal/stats"
 )
 
-// NodeID identifies a mesh node (a core/L1 tile, possibly also hosting a
-// directory + L2 bank).
+// NodeID identifies an interconnect node (a core/L1 tile, possibly also
+// hosting a directory + L2 bank).
 type NodeID int
 
 // Handler receives a delivered message payload at a node.
 type Handler func(payload any)
 
-// Config describes the mesh geometry and timing.
+// Config describes the interconnect geometry and timing.
 type Config struct {
-	Width, Height int       // mesh dimensions (paper: 6x4 = 24 nodes)
-	RouterDelay   sim.Cycle // per-hop router pipeline latency (paper: 1)
-	LinkDelay     sim.Cycle // per-hop link latency (paper: 1)
-	FlitBytes     int       // flit width in bytes (16)
-	HeaderBytes   int       // per-message header (8)
+	// Topo names the topology ("mesh", "ring", "torus", "xbar"). Empty
+	// selects the mesh and — being omitted from JSON — keeps every config
+	// minted before the topology layer byte-identical, so pre-topology
+	// content-addressed cache keys stay valid.
+	Topo          string `json:",omitempty"`
+	Width, Height int    // grid dimensions for mesh/torus (paper: 6x4 = 24 nodes)
+	// Nodes is the node count for topologies without grid geometry (ring,
+	// xbar); 0 defers to Width×Height. Omitted from JSON when zero for the
+	// same key-compatibility reason as Topo.
+	Nodes       int       `json:",omitempty"`
+	RouterDelay sim.Cycle // per-hop router pipeline latency (paper: 1)
+	LinkDelay   sim.Cycle // per-hop link latency (paper: 1)
+	FlitBytes   int       // flit width in bytes (16)
+	HeaderBytes int       // per-message header (8)
 }
 
 // DefaultConfig returns the Table 1 mesh: 6x4, 1-cycle router, 1-cycle link.
@@ -36,20 +49,29 @@ func DefaultConfig() Config {
 	return Config{Width: 6, Height: 4, RouterDelay: 1, LinkDelay: 1, FlitBytes: 16, HeaderBytes: 8}
 }
 
-// Lookahead returns the minimum cross-tile message latency — one router
-// traversal plus one link traversal, the cheapest possible hop. It lower-
-// bounds how far in the future any cross-tile send can take effect, which
-// is exactly the conservative window width the sharded simulator needs.
-func (cfg Config) Lookahead() sim.Cycle { return cfg.RouterDelay + cfg.LinkDelay }
+// Lookahead returns the minimum cross-tile message latency — the cheapest
+// possible hop of cfg's topology. It lower-bounds how far in the future any
+// cross-tile send can take effect, which is exactly the conservative window
+// width the sharded simulator needs. Mesh, ring, and torus hops cost one
+// router plus one link traversal; a crossbar hop crosses the switch and both
+// wire segments, so its window is RouterDelay+2·LinkDelay. Total for every
+// Topo value (unknown names get the mesh bound) so cache-key derivation
+// never panics.
+func (cfg Config) Lookahead() sim.Cycle {
+	if canonicalTopo(cfg.Topo) == "xbar" {
+		return cfg.RouterDelay + 2*cfg.LinkDelay
+	}
+	return cfg.RouterDelay + cfg.LinkDelay
+}
 
-// Network is a mesh interconnect bound either to a single simulation
-// engine (immediate mode: every Send schedules its delivery right away) or
-// to a sharded Cluster (staged mode: cross-tile sends are queued into the
-// source tile's outbox and routed at the window-barrier merge, where the
-// shared link-arbitration state is touched single-threadedly in canonical
-// order).
+// Network is an interconnect bound either to a single simulation engine
+// (immediate mode: every Send schedules its delivery right away) or to a
+// sharded Cluster (staged mode: cross-tile sends are queued into the source
+// tile's outbox and routed at the window-barrier merge, where the shared
+// link-arbitration state is touched single-threadedly in canonical order).
 type Network struct {
 	cfg      Config
+	topo     Topology
 	eng      *sim.Engine // immediate mode only
 	handlers []Handler
 	linkFree []sim.Cycle // indexed by directed link id
@@ -68,7 +90,7 @@ type Network struct {
 	tileStats  []*stats.Stats
 }
 
-// New builds a mesh network in immediate mode. meter and st may not be nil.
+// New builds a network in immediate mode. meter and st may not be nil.
 func New(eng *sim.Engine, cfg Config, meter *energy.Meter, st *stats.Stats) *Network {
 	n := newNetwork(cfg)
 	n.eng = eng
@@ -77,17 +99,17 @@ func New(eng *sim.Engine, cfg Config, meter *energy.Meter, st *stats.Stats) *Net
 	return n
 }
 
-// NewSharded builds a mesh network in staged mode on a tile cluster. Local
+// NewSharded builds a network in staged mode on a tile cluster. Local
 // (src == dst) sends schedule directly on the source tile's engine and
 // charge its meter; cross-tile sends are staged and routed at the window
-// merge, charging mergeMeter/mergeSt. One tile resource triple per mesh
-// node is required.
+// merge, charging mergeMeter/mergeSt. One tile resource triple per node is
+// required.
 func NewSharded(clu *sim.Cluster, cfg Config, tileMeters []*energy.Meter, tileStats []*stats.Stats, mergeMeter *energy.Meter, mergeSt *stats.Stats) *Network {
 	n := newNetwork(cfg)
 	if clu.Tiles() != n.Nodes() {
-		panic(fmt.Sprintf("noc: cluster has %d tiles for a %d-node mesh", clu.Tiles(), n.Nodes()))
+		panic(fmt.Sprintf("noc: cluster has %d tiles for a %d-node %s", clu.Tiles(), n.Nodes(), n.topo.Name()))
 	}
-	if cfg.Lookahead() < 1 {
+	if n.topo.Lookahead() < 1 {
 		panic("noc: staged mode needs at least one cycle of hop latency for lookahead")
 	}
 	n.clu = clu
@@ -99,25 +121,26 @@ func NewSharded(clu *sim.Cluster, cfg Config, tileMeters []*energy.Meter, tileSt
 }
 
 func newNetwork(cfg Config) *Network {
-	if cfg.Width <= 0 || cfg.Height <= 0 {
-		panic("noc: non-positive mesh dimensions")
-	}
 	if cfg.FlitBytes <= 0 {
 		panic("noc: non-positive flit size")
 	}
-	n := cfg.Width * cfg.Height
+	topo := cfg.mustTopology()
+	links := topo.NumLinks()
 	return &Network{
 		cfg:      cfg,
-		handlers: make([]Handler, n),
-		// 4 outgoing directions per node is an upper bound on links.
-		linkFree: make([]sim.Cycle, n*4),
-		linkBusy: make([]sim.Cycle, n*4),
-		linkMsgs: make([]uint64, n*4),
+		topo:     topo,
+		handlers: make([]Handler, topo.Nodes()),
+		linkFree: make([]sim.Cycle, links),
+		linkBusy: make([]sim.Cycle, links),
+		linkMsgs: make([]uint64, links),
 	}
 }
 
+// Topology returns the network's topology model.
+func (n *Network) Topology() Topology { return n.topo }
+
 // Nodes returns the node count.
-func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+func (n *Network) Nodes() int { return n.topo.Nodes() }
 
 // Register installs the delivery handler for a node. Each node has exactly
 // one handler; the machine layer dispatches to co-located components.
@@ -128,20 +151,27 @@ func (n *Network) Register(id NodeID, h Handler) {
 	n.handlers[id] = h
 }
 
-// XY returns the mesh coordinates of a node.
+// gridWidth returns the grid width for the coordinate accessors: topologies
+// without grid geometry read as a 1-row strip.
+func (n *Network) gridWidth() int {
+	if g, ok := n.topo.(*gridTopo); ok {
+		return g.w
+	}
+	return n.topo.Nodes()
+}
+
+// XY returns the grid coordinates of a node (mesh/torus; other topologies
+// read as a single row).
 func (n *Network) XY(id NodeID) (x, y int) {
-	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
+	w := n.gridWidth()
+	return int(id) % w, int(id) / w
 }
 
-// NodeAt returns the node at mesh coordinates (x, y).
-func (n *Network) NodeAt(x, y int) NodeID { return NodeID(y*n.cfg.Width + x) }
+// NodeAt returns the node at grid coordinates (x, y).
+func (n *Network) NodeAt(x, y int) NodeID { return NodeID(y*n.gridWidth() + x) }
 
-// Hops returns the XY route length between two nodes.
-func (n *Network) Hops(src, dst NodeID) int {
-	sx, sy := n.XY(src)
-	dx, dy := n.XY(dst)
-	return abs(sx-dx) + abs(sy-dy)
-}
+// Hops returns the route length between two nodes.
+func (n *Network) Hops(src, dst NodeID) int { return n.topo.Hops(src, dst) }
 
 // Flits returns the number of flits a payload of the given size occupies.
 func (n *Network) Flits(payloadBytes int) int {
@@ -153,40 +183,15 @@ func (n *Network) Flits(payloadBytes int) int {
 	return f
 }
 
-// linkID returns the directed-link index for the hop from to its neighbour
-// in direction dir (0=+x, 1=-x, 2=+y, 3=-y).
-func (n *Network) linkID(from NodeID, dir int) int { return int(from)*4 + dir }
-
-// route returns the XY route as a sequence of (node, direction) hops. The
+// route returns the topology's route as a sequence of directed-link ids. The
 // returned slice aliases the network's scratch buffer and is only valid
 // until the next route call. Routing happens only where link arbitration
 // does — in immediate-mode Send (single-threaded engine) or in the staged
 // merge phase (coordinator goroutine) — so the scratch buffer needs no
 // locking.
 func (n *Network) route(src, dst NodeID) []int {
-	hops := n.routeBuf[:0] // link ids
-	x, y := n.XY(src)
-	dx, dy := n.XY(dst)
-	for x != dx {
-		dir := 0
-		step := 1
-		if dx < x {
-			dir, step = 1, -1
-		}
-		hops = append(hops, n.linkID(n.NodeAt(x, y), dir))
-		x += step
-	}
-	for y != dy {
-		dir := 2
-		step := 1
-		if dy < y {
-			dir, step = 3, -1
-		}
-		hops = append(hops, n.linkID(n.NodeAt(x, y), dir))
-		y += step
-	}
-	n.routeBuf = hops
-	return hops
+	n.routeBuf = n.topo.Route(n.routeBuf[:0], src, dst)
+	return n.routeBuf
 }
 
 // Send injects a message of payloadBytes from src to dst and schedules its
@@ -233,6 +238,7 @@ func (n *Network) Send(src, dst NodeID, payloadBytes int, payload any) sim.Cycle
 // the delivery cycle. Shared with the staged merge path so both modes
 // price messages identically.
 func (n *Network) deliverAt(src, dst NodeID, flits int, t sim.Cycle) sim.Cycle {
+	hop := n.topo.HopDelay()
 	for _, link := range n.route(src, dst) {
 		depart := t
 		if n.linkFree[link] > depart {
@@ -242,7 +248,7 @@ func (n *Network) deliverAt(src, dst NodeID, flits int, t sim.Cycle) sim.Cycle {
 		n.linkFree[link] = depart + sim.Cycle(flits)
 		n.linkBusy[link] += sim.Cycle(flits)
 		n.linkMsgs[link]++
-		t = depart + n.cfg.RouterDelay + n.cfg.LinkDelay
+		t = depart + hop
 		n.meter.RouterTraversal(flits)
 		n.meter.LinkTraversal(flits)
 		n.st.FlitHops += uint64(flits)
@@ -254,8 +260,8 @@ func (n *Network) deliverAt(src, dst NodeID, flits int, t sim.Cycle) sim.Cycle {
 // mergeSend is the staged-mode merge handler for one cross-tile message:
 // it routes the message from its staged injection cycle and schedules the
 // delivery on the destination tile. The delivery cycle is provably at or
-// beyond the merge horizon: t ≥ at + RouterDelay + LinkDelay ≥ at +
-// lookahead, and at lies inside the window just drained.
+// beyond the merge horizon: t ≥ at + HopDelay ≥ at + lookahead, and at lies
+// inside the window just drained.
 func (n *Network) mergeSend(at sim.Cycle, payload any, aux uint64) {
 	src := NodeID(aux & 0xffff)
 	dst := NodeID(aux >> 16 & 0xffff)
@@ -264,30 +270,24 @@ func (n *Network) mergeSend(at sim.Cycle, payload any, aux uint64) {
 	n.clu.Tile(int(dst)).AtArg(t, n.handlers[dst], payload)
 }
 
-// LinkUtil describes one directed mesh link's traffic over a run.
+// LinkUtil describes one directed link's traffic over a run.
 type LinkUtil struct {
 	From, To   NodeID
 	Msgs       uint64
 	BusyCycles uint64
 }
 
-// dirDelta maps a direction index to its coordinate step.
-var dirDelta = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
-
 // TopLinks returns the k busiest directed links (by flit-cycles),
-// descending — the mesh's hotspots.
+// descending — the interconnect's hotspots.
 func (n *Network) TopLinks(k int) []LinkUtil {
 	var all []LinkUtil
 	for id, busy := range n.linkBusy {
 		if busy == 0 {
 			continue
 		}
-		from := NodeID(id / 4)
-		dir := id % 4
-		x, y := n.XY(from)
-		tx, ty := x+dirDelta[dir][0], y+dirDelta[dir][1]
+		from, to := n.topo.LinkEnds(id)
 		all = append(all, LinkUtil{
-			From: from, To: n.NodeAt(tx, ty),
+			From: from, To: to,
 			Msgs: n.linkMsgs[id], BusyCycles: uint64(busy),
 		})
 	}

@@ -42,6 +42,11 @@ func preciseShapes() []shape {
 		{"producer-consumer", 64, func(base mem.Addr) *Trace {
 			return ProducerConsumer(PatternConfig{Threads: 3, Rounds: 40, Base: base, DDist: -1, Gap: 10})
 		}},
+		// False sharing is per-word single-writer, so despite the block
+		// ping-pong the final image is race-free and protocol-independent.
+		{"false-sharing", 64, func(base mem.Addr) *Trace {
+			return FalseSharing(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: -1, Gap: 3})
+		}},
 		{"random-disjoint", 1024, func(base mem.Addr) *Trace {
 			return randomDisjoint(base, 4, 200, 256, -1, false)
 		}},
@@ -125,6 +130,18 @@ func TestRoundTripAllGenerators(t *testing.T) {
 		}},
 		shape{"producer-consumer-scribble", 64, func(base mem.Addr) *Trace {
 			return ProducerConsumer(PatternConfig{Threads: 3, Rounds: 40, Base: base, DDist: 8, Gap: 10, Scribble: true})
+		}},
+		shape{"false-sharing-scribble", 64, func(base mem.Addr) *Trace {
+			return FalseSharing(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: 8, Gap: 3, Scribble: true})
+		}},
+		// Pathological sharing races every thread on one word, so it only
+		// joins the single-protocol round-trip battery (the replay itself is
+		// deterministic), not the cross-protocol image differential.
+		shape{"pathological-sharing", 64, func(base mem.Addr) *Trace {
+			return PathologicalSharing(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: -1, Gap: 3})
+		}},
+		shape{"pathological-scribble", 64, func(base mem.Addr) *Trace {
+			return PathologicalSharing(PatternConfig{Threads: 4, Rounds: 50, Base: base, DDist: 8, Gap: 3, Scribble: true})
 		}},
 		shape{"random-scribble", 1024, func(base mem.Addr) *Trace {
 			return randomDisjoint(base, 4, 200, 256, 8, true)

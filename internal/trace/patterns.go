@@ -73,6 +73,51 @@ func ProducerConsumer(c PatternConfig) *Trace {
 	return t
 }
 
+// FalseSharing generates the classic false-sharing antipattern: threads in
+// groups of 16 load and store their own disjoint 4-byte word, but the 16
+// words of one group pack into a single 64 B cache block, so the block
+// ping-pongs between caches although no data is actually shared. Under
+// Ghostwriter, scribble variants let similar updates hide in GS instead of
+// invalidating the other 15 copies.
+func FalseSharing(c PatternConfig) *Trace {
+	const slots = 16 // 4-byte words per 64 B block
+	t := &Trace{Threads: make([][]Op, c.Threads)}
+	for id := 0; id < c.Threads; id++ {
+		ops := []Op{{DDist: int8(c.DDist), Width: 0}}
+		addr := c.Base + mem.Addr(64*(id/slots)+4*(id%slots))
+		for r := 0; r < c.Rounds; r++ {
+			ops = append(ops,
+				Op{Kind: coherence.OpLoad, Addr: addr, Width: 4, Gap: c.Gap, DDist: NoDistChange},
+				Op{Kind: c.storeKind(), Addr: addr, Width: 4, Value: uint64(r), DDist: NoDistChange},
+			)
+		}
+		t.Threads[id] = ops
+	}
+	return t
+}
+
+// PathologicalSharing generates the worst case for a write-invalidate
+// protocol: every thread loads and stores the same word of the same block
+// every round, so each store invalidates every other cache and each load
+// misses. Values step by one per round across threads, keeping neighboring
+// writes d-similar — the regime where Ghostwriter's approximate states
+// absorb nearly all of the traffic.
+func PathologicalSharing(c PatternConfig) *Trace {
+	t := &Trace{Threads: make([][]Op, c.Threads)}
+	for id := 0; id < c.Threads; id++ {
+		ops := []Op{{DDist: int8(c.DDist), Width: 0}}
+		for r := 0; r < c.Rounds; r++ {
+			ops = append(ops,
+				Op{Kind: coherence.OpLoad, Addr: c.Base, Width: 4, Gap: c.Gap, DDist: NoDistChange},
+				Op{Kind: c.storeKind(), Addr: c.Base, Width: 4,
+					Value: uint64(r*c.Threads + id), DDist: NoDistChange},
+			)
+		}
+		t.Threads[id] = ops
+	}
+	return t
+}
+
 // Random generates seeded uniform traffic over span bytes: a protocol
 // fuzzing workload.
 func Random(c PatternConfig, seed int64, spanBytes int) *Trace {
